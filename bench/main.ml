@@ -1,0 +1,250 @@
+(* Benchmark and reproduction harness.
+
+   Running `dune exec bench/main.exe` first regenerates every figure and
+   table of the paper's evaluation (the same rows/series the paper
+   reports, rendered for the terminal), then times each generator and
+   the key kernels with Bechamel. `dune exec bench/main.exe -- quick`
+   skips the timing pass. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Reproduction pass: print every artifact                             *)
+(* ------------------------------------------------------------------ *)
+
+let hr title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let reproduce () =
+  hr "FIG3: sum rates vs relay position (paper Fig. 3)";
+  print_string (Report.render_figure (Bidir.Figures.fig3 ()));
+  hr "FIG3-SNR: sum rates vs power (companion sweep)";
+  print_string (Report.render_figure (Bidir.Figures.fig3_snr ()));
+  hr "FIG4A: rate regions at P = 0 dB (paper Fig. 4 top)";
+  print_string (Report.render_figure (Bidir.Figures.fig4 ~power_db:0. ()));
+  hr "FIG4B: rate regions at P = 10 dB (paper Fig. 4 bottom)";
+  print_string (Report.render_figure (Bidir.Figures.fig4 ~power_db:10. ()));
+  hr "TAB-GAP: inner vs outer bounds";
+  print_string (Report.render_table (Bidir.Figures.gap_table ()));
+  hr "TAB-XOVER: protocol crossover powers";
+  print_string (Report.render_table (Bidir.Figures.crossover_table ()));
+  hr "TAB-HBC: HBC points outside both outer bounds";
+  print_string (Report.render_table (Bidir.Figures.hbc_witness_table ()));
+  hr "TAB-CODING-GAIN: coded cooperation vs naive routing (Fig. 1)";
+  print_string (Report.render_table (Bidir.Figures.coding_gain_table ()));
+  hr "TAB-DISCRETE: all-BSC network (DMC evaluation)";
+  print_string (Report.render_table (Bidir.Figures.discrete_table ()));
+  hr "TAB-POWER-BOOST: peak vs average-energy power constraint (ablation)";
+  print_string (Report.render_table (Bidir.Power_allocation.boost_table ()));
+  hr "TAB-ERGODIC: ergodic sum rates under Rayleigh fading (extension)";
+  print_string
+    (Report.render_table
+       (Bidir.Ergodic.ergodic_table ~blocks:400 ~powers_db:[ 0.; 10. ] ()));
+  hr "FIG-OUTAGE: outage probability vs target rate under fading (extension)";
+  print_string
+    (Report.render_figure (Bidir.Ergodic.outage_figure ~blocks:300 ()));
+  hr "TAB-FD-PENALTY: full duplex vs half duplex (reference point)";
+  print_string (Report.render_table (Bidir.Fullduplex.penalty_table ()));
+  hr "MAP: best protocol over the relay-position x power plane";
+  print_string (Report.protocol_map ());
+  hr "TAB-DELAY: queueing delay vs offered load (extension)";
+  print_string
+    (Report.render_table
+       (Netsim.Traffic.comparison_table ~blocks:1_000 ~power_db:10.
+          ~gains:Channel.Gains.paper_fig4 ()));
+  hr "SIM-THRU: simulated throughput vs analytic optimum";
+  let rows =
+    List.map
+      (fun protocol ->
+        let r =
+          Netsim.Runner.run
+            (Netsim.Runner.default_config ~protocol ~power_db:10.
+               ~gains:Channel.Gains.paper_fig4 ~blocks:50
+               ~block_symbols:10_000 ())
+        in
+        let m = r.Netsim.Runner.metrics in
+        [ Bidir.Protocol.name protocol;
+          Printf.sprintf "%.4f" (Netsim.Metrics.throughput m);
+          Printf.sprintf "%.4f" r.Netsim.Runner.analytic_mean_sum_rate;
+          string_of_int (Netsim.Metrics.bit_errors m);
+        ])
+      Bidir.Protocol.all
+  in
+  print_string
+    (Chart.Table.render
+       ~headers:[ "protocol"; "simulated"; "analytic"; "undetected errs" ]
+       ~rows)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: LP boundary sweep vs naive achievability grid             *)
+(* ------------------------------------------------------------------ *)
+
+let paper_scenario =
+  Bidir.Gaussian.scenario ~power_db:10. ~gains:Channel.Gains.paper_fig4
+
+let tdbc_bound =
+  Bidir.Gaussian.bounds Bidir.Protocol.Tdbc Bidir.Bound.Inner paper_scenario
+
+(* the alternative the LP sweep replaces: probe a grid of rate pairs *)
+let naive_grid_region bound ~cells =
+  let corner_a = Bidir.Rate_region.max_ra bound in
+  let corner_b = Bidir.Rate_region.max_rb bound in
+  let ra_max = corner_a.Bidir.Rate_region.ra in
+  let rb_max = corner_b.Bidir.Rate_region.rb in
+  let hits = ref 0 in
+  for i = 0 to cells - 1 do
+    for j = 0 to cells - 1 do
+      let ra = ra_max *. float_of_int i /. float_of_int (cells - 1) in
+      let rb = rb_max *. float_of_int j /. float_of_int (cells - 1) in
+      if Bidir.Rate_region.achievable bound ~ra ~rb then incr hits
+    done
+  done;
+  !hits
+
+let ablation () =
+  hr "ABLATION: exact LP boundary sweep vs naive achievability grid";
+  let t0 = Unix.gettimeofday () in
+  let boundary = Bidir.Rate_region.boundary tdbc_bound in
+  let t1 = Unix.gettimeofday () in
+  let hits = naive_grid_region tdbc_bound ~cells:30 in
+  let t2 = Unix.gettimeofday () in
+  Printf.printf
+    "LP sweep: %d exact vertices in %.1f ms; 30x30 grid: %d probes inside \
+     in %.1f ms (approximate boundary only)\n"
+    (List.length boundary)
+    (1000. *. (t1 -. t0))
+    hits
+    (1000. *. (t2 -. t1))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let stage = Staged.stage
+
+let tests =
+  [ Test.make ~name:"fig3 (9-point sweep)"
+      (stage (fun () -> ignore (Bidir.Figures.fig3 ~samples:9 ())));
+    Test.make ~name:"fig4a region (P=0dB)"
+      (stage (fun () -> ignore (Bidir.Figures.fig4 ~power_db:0. ())));
+    Test.make ~name:"fig4b region (P=10dB)"
+      (stage (fun () -> ignore (Bidir.Figures.fig4 ~power_db:10. ())));
+    Test.make ~name:"gap table"
+      (stage (fun () -> ignore (Bidir.Figures.gap_table ())));
+    Test.make ~name:"crossover table"
+      (stage (fun () -> ignore (Bidir.Figures.crossover_table ())));
+    Test.make ~name:"hbc witness table"
+      (stage (fun () -> ignore (Bidir.Figures.hbc_witness_table ())));
+    Test.make ~name:"kernel: one sum-rate LP (HBC)"
+      (stage (fun () ->
+           ignore
+             (Bidir.Optimize.sum_rate Bidir.Protocol.Hbc Bidir.Bound.Inner
+                paper_scenario)));
+    Test.make ~name:"kernel: TDBC boundary sweep (65 LPs)"
+      (stage (fun () -> ignore (Bidir.Rate_region.boundary tdbc_bound)));
+    Test.make ~name:"ablation: naive 30x30 grid region"
+      (stage (fun () -> ignore (naive_grid_region tdbc_bound ~cells:30)));
+    Test.make ~name:"kernel: Blahut-Arimoto (BSC 0.1)"
+      (stage (fun () ->
+           ignore (Infotheory.Blahut.capacity (Infotheory.Channels.bsc 0.1))));
+    (let net =
+       Bidir.Discrete.bsc_network ~p_ab:0.15 ~p_ar:0.05 ~p_br:0.02 ~p_mac:0.05
+     in
+     Test.make ~name:"kernel: discrete bounds (BSC net)"
+       (stage (fun () ->
+            let ins = Bidir.Discrete.uniform_inputs net in
+            ignore
+              (Bidir.Rate_region.max_sum_rate
+                 (Bidir.Discrete.bounds Bidir.Protocol.Hbc Bidir.Bound.Inner
+                    net ins)))));
+    Test.make ~name:"netsim: 5 blocks x 1000 symbols (TDBC)"
+      (stage (fun () ->
+           ignore
+             (Netsim.Runner.run
+                (Netsim.Runner.default_config ~protocol:Bidir.Protocol.Tdbc
+                   ~power_db:10. ~gains:Channel.Gains.paper_fig4 ~blocks:5
+                   ~block_symbols:1_000 ()))));
+    Test.make ~name:"netsim: detailed event-driven (5 blocks, TDBC)"
+      (stage (fun () ->
+           ignore
+             (Netsim.Detailed.run
+                (Netsim.Runner.default_config ~protocol:Bidir.Protocol.Tdbc
+                   ~power_db:10. ~gains:Channel.Gains.paper_fig4 ~blocks:5
+                   ~block_symbols:1_000 ()))));
+    Test.make ~name:"kernel: ergodic rate (100 fading blocks)"
+      (stage (fun () ->
+           let fading =
+             Channel.Fading.create ~rng_seed:3 ~mean:Channel.Gains.paper_fig4 ()
+           in
+           ignore
+             (Bidir.Ergodic.ergodic_sum_rate ~blocks:100 fading ~power:10.
+                Bidir.Protocol.Mabc)));
+    Test.make ~name:"ablation: avg-energy power allocation (TDBC)"
+      (stage (fun () ->
+           ignore
+             (Bidir.Power_allocation.sum_rate ~resolution:12 ~refinements:2
+                Bidir.Protocol.Tdbc paper_scenario
+                Bidir.Power_allocation.Average_energy)));
+    Test.make ~name:"fd penalty table"
+      (stage (fun () -> ignore (Bidir.Fullduplex.penalty_table ())));
+    Test.make ~name:"coding gain table"
+      (stage (fun () -> ignore (Bidir.Figures.coding_gain_table ())));
+    Test.make ~name:"outage figure (80 blocks)"
+      (stage (fun () ->
+           ignore (Bidir.Ergodic.outage_figure ~blocks:80 ~samples:5 ())));
+    Test.make ~name:"delay table (400 blocks)"
+      (stage (fun () ->
+           ignore
+             (Netsim.Traffic.comparison_table ~offered:[ 2.5 ] ~blocks:400
+                ~power_db:10. ~gains:Channel.Gains.paper_fig4 ())));
+    Test.make ~name:"protocol map (9x5)"
+      (stage (fun () -> ignore (Report.protocol_map ~positions:9 ~powers:5 ())));
+    Test.make ~name:"kernel: proportional-fair point (HBC)"
+      (stage
+         (let b =
+            Bidir.Gaussian.bounds Bidir.Protocol.Hbc Bidir.Bound.Inner
+              paper_scenario
+          in
+          fun () -> ignore (Bidir.Rate_region.max_product b)));
+  ]
+
+let run_benchmarks () =
+  hr "BECHAMEL TIMINGS (one benchmark per experiment / kernel)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let rows =
+    List.concat_map
+      (fun test ->
+        let results = Benchmark.all cfg [ instance ] test in
+        let analyzed = Analyze.all ols instance results in
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            let ns =
+              match Analyze.OLS.estimates ols_result with
+              | Some [ est ] -> est
+              | Some _ | None -> Float.nan
+            in
+            let rendered =
+              if Float.is_nan ns then "n/a"
+              else if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+              else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+              else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+              else Printf.sprintf "%.0f ns" ns
+            in
+            [ name; rendered ] :: acc)
+          analyzed [])
+      tests
+  in
+  print_string (Chart.Table.render ~headers:[ "benchmark"; "time/run" ] ~rows)
+
+let () =
+  let quick = Array.exists (fun a -> a = "quick") Sys.argv in
+  reproduce ();
+  ablation ();
+  if not quick then run_benchmarks ()

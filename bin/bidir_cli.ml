@@ -1,0 +1,436 @@
+(* The `bidir` command-line tool: reproduce the paper's figures and
+   tables, query rate regions, and run packet-level simulations. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let power_arg =
+  let doc = "Per-node transmit power P in dB." in
+  Arg.(value & opt float 10. & info [ "P"; "power" ] ~docv:"DB" ~doc)
+
+let gains_args =
+  let gab =
+    Arg.(value & opt float 0. & info [ "gab" ] ~docv:"DB" ~doc:"Gain of the a-b link (dB).")
+  in
+  let gar =
+    Arg.(value & opt float 5. & info [ "gar" ] ~docv:"DB" ~doc:"Gain of the a-r link (dB).")
+  in
+  let gbr =
+    Arg.(value & opt float 7. & info [ "gbr" ] ~docv:"DB" ~doc:"Gain of the b-r link (dB).")
+  in
+  let combine g_ab g_ar g_br = Channel.Gains.of_db ~g_ab ~g_ar ~g_br in
+  Term.(const combine $ gab $ gar $ gbr)
+
+let protocol_arg =
+  let parse s =
+    match Bidir.Protocol.of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown protocol %S (dt|mabc|tdbc|hbc)" s))
+  in
+  let print fmt p = Format.fprintf fmt "%s" (Bidir.Protocol.name p) in
+  let protocol_converter = Arg.conv (parse, print) in
+  Arg.(value & opt protocol_converter Bidir.Protocol.Tdbc
+       & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc:"Protocol: dt, mabc, tdbc or hbc.")
+
+let kind_arg =
+  let doc = "Evaluate the outer (converse) bound instead of the achievable region." in
+  let outer = Arg.(value & flag & info [ "outer" ] ~doc) in
+  Term.(const (fun o -> if o then Bidir.Bound.Outer else Bidir.Bound.Inner) $ outer)
+
+(* ------------------------------------------------------------------ *)
+(* figures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let figures_cmd =
+  let id_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"ID"
+             ~doc:"Artifact id: fig3, fig3-snr, fig4a, fig4b, gap, crossover, \
+                   hbc-witness, coding-gain, discrete, ergodic, or 'all' \
+                   (default).")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of terminal rendering.")
+  in
+  let svg_arg =
+    Arg.(value & flag & info [ "svg" ] ~doc:"Emit a standalone SVG document (figures only).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Write each artifact to its own file under DIR (svg for \
+                   figures when --svg, txt/csv otherwise) instead of stdout.")
+  in
+  let run id csv svg out =
+    (match out with
+    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+    | _ -> ());
+    let write name ext content =
+      match out with
+      | None ->
+        print_string content;
+        print_newline ()
+      | Some dir ->
+        let path = Filename.concat dir (name ^ "." ^ ext) in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc content);
+        Printf.printf "wrote %s\n" path
+    in
+    let figure (f : Bidir.Figures.figure) =
+      if svg then write f.Bidir.Figures.id "svg" (Report.figure_svg f)
+      else if csv then write f.Bidir.Figures.id "csv" (Report.figure_csv f)
+      else write f.Bidir.Figures.id "txt" (Report.render_figure f)
+    in
+    let table (t : Bidir.Figures.table) =
+      if csv then write t.Bidir.Figures.table_id "csv" (Report.table_csv t)
+      else write t.Bidir.Figures.table_id "txt" (Report.render_table t)
+    in
+    let emit_string name s = write name "txt" s in
+    let one = function
+      | "fig3" -> figure (Bidir.Figures.fig3 ())
+      | "fig3-snr" -> figure (Bidir.Figures.fig3_snr ())
+      | "fig4a" -> figure (Bidir.Figures.fig4 ~power_db:0. ())
+      | "fig4b" -> figure (Bidir.Figures.fig4 ~power_db:10. ())
+      | "gap" -> table (Bidir.Figures.gap_table ())
+      | "crossover" -> table (Bidir.Figures.crossover_table ())
+      | "hbc-witness" -> table (Bidir.Figures.hbc_witness_table ())
+      | "discrete" -> table (Bidir.Figures.discrete_table ())
+      | "map" -> emit_string "map" (Report.protocol_map ())
+      | "fd-penalty" -> table (Bidir.Fullduplex.penalty_table ())
+      | "delay" ->
+        table
+          (Netsim.Traffic.comparison_table ~power_db:10.
+             ~gains:Channel.Gains.paper_fig4 ())
+      | "coding-gain" -> table (Bidir.Figures.coding_gain_table ())
+      | "power-boost" -> table (Bidir.Power_allocation.boost_table ())
+      | "ergodic" -> table (Bidir.Ergodic.ergodic_table ())
+      | "outage" -> figure (Bidir.Ergodic.outage_figure ())
+      | "all" ->
+        List.iter figure (Bidir.Figures.all_figures ());
+        List.iter table (Bidir.Figures.all_tables ());
+        table (Bidir.Ergodic.ergodic_table ~blocks:400 ());
+        emit_string "map" (Report.protocol_map ())
+      | other ->
+        Printf.eprintf "unknown artifact id %S\n" other;
+        exit 2
+    in
+    one (Option.value ~default:"all" id)
+  in
+  let doc = "Regenerate the paper's figures and tables." in
+  Cmd.v (Cmd.info "figures" ~doc)
+    Term.(const run $ id_arg $ csv_arg $ svg_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sumrate                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sumrate_cmd =
+  let run power_db gains kind =
+    let s = Bidir.Gaussian.scenario ~power_db ~gains in
+    let rows =
+      List.map
+        (fun r ->
+          let b = Bidir.Gaussian.bounds r.Bidir.Optimize.protocol kind s in
+          let binding =
+            Bidir.Rate_region.binding_terms ~eps:1e-6 b
+              { Bidir.Rate_region.ra = r.Bidir.Optimize.ra;
+                rb = r.Bidir.Optimize.rb;
+                deltas = r.Bidir.Optimize.deltas;
+              }
+          in
+          [ Bidir.Protocol.name r.Bidir.Optimize.protocol;
+            Printf.sprintf "%.4f" r.Bidir.Optimize.sum_rate;
+            Printf.sprintf "%.4f" r.Bidir.Optimize.ra;
+            Printf.sprintf "%.4f" r.Bidir.Optimize.rb;
+            String.concat " "
+              (Array.to_list
+                 (Array.map (Printf.sprintf "%.3f") r.Bidir.Optimize.deltas));
+            String.concat "; "
+              (List.map (fun (t : Bidir.Bound.term) -> t.Bidir.Bound.label) binding);
+          ])
+        (Bidir.Optimize.all_sum_rates kind s)
+    in
+    Printf.printf "Optimal sum rates, %s bound, P = %g dB, %s\n\n"
+      (Bidir.Bound.kind_name kind) power_db
+      (Format.asprintf "%a" Channel.Gains.pp gains);
+    print_string
+      (Chart.Table.render
+         ~headers:
+           [ "protocol"; "sum rate"; "Ra"; "Rb"; "durations";
+             "binding constraints" ]
+         ~rows)
+  in
+  let doc = "Optimal sum rates of all protocols on one channel." in
+  Cmd.v (Cmd.info "sumrate" ~doc) Term.(const run $ power_arg $ gains_args $ kind_arg)
+
+(* ------------------------------------------------------------------ *)
+(* region                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let region_cmd =
+  let run power_db gains protocol kind =
+    let s = Bidir.Gaussian.scenario ~power_db ~gains in
+    let b = Bidir.Gaussian.bounds protocol kind s in
+    let pts = Bidir.Rate_region.boundary b in
+    Printf.printf "%s %s region boundary, P = %g dB (%d vertices):\n"
+      (Bidir.Protocol.name protocol)
+      (Bidir.Bound.kind_name kind) power_db (List.length pts);
+    List.iter
+      (fun (p : Numerics.Vec2.t) ->
+        Printf.printf "  Ra=%.4f Rb=%.4f\n" p.Numerics.Vec2.x p.Numerics.Vec2.y)
+      pts;
+    Printf.printf "area: %.4f\n\n" (Bidir.Rate_region.area b);
+    let series =
+      [ { Chart.Line_chart.label =
+            Bidir.Protocol.name protocol ^ " " ^ Bidir.Bound.kind_name kind;
+          points =
+            List.map
+              (fun (p : Numerics.Vec2.t) ->
+                (p.Numerics.Vec2.x, p.Numerics.Vec2.y))
+              pts;
+        }
+      ]
+    in
+    let config =
+      { Chart.Line_chart.default_config with
+        Chart.Line_chart.xlabel = "Ra (bits/use)";
+        ylabel = "Rb (bits/use)";
+      }
+    in
+    print_string (Chart.Line_chart.render_xy ~config series)
+  in
+  let doc = "Trace one protocol's rate-region boundary." in
+  Cmd.v (Cmd.info "region" ~doc)
+    Term.(const run $ power_arg $ gains_args $ protocol_arg $ kind_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let blocks_arg =
+    Arg.(value & opt int 200 & info [ "blocks" ] ~docv:"N" ~doc:"Number of protocol blocks.")
+  in
+  let fading_arg =
+    Arg.(value & flag & info [ "fading" ] ~doc:"Rayleigh block fading (mean = given gains).")
+  in
+  let fixed_arg =
+    Arg.(value & flag
+         & info [ "fixed" ]
+             ~doc:"Fix the schedule to the mean-gain optimum instead of adapting per block.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let detailed_arg =
+    Arg.(value & flag
+         & info [ "detailed" ]
+             ~doc:"Use the fully event-driven simulator (explicit radio \
+                   medium) instead of the block-level one.")
+  in
+  let run power_db gains protocol blocks fading fixed seed detailed =
+    let base =
+      Netsim.Runner.default_config ~protocol ~power_db ~gains ~blocks ~seed ()
+    in
+    let cfg =
+      { base with
+        Netsim.Runner.fading =
+          (if fading then Channel.Fading.create ~rng_seed:seed ~mean:gains ()
+           else Channel.Fading.static gains);
+        mode =
+          (if fixed then begin
+             let s = Bidir.Gaussian.scenario ~power_db ~gains in
+             let opt = Bidir.Optimize.sum_rate protocol Bidir.Bound.Inner s in
+             Netsim.Runner.Fixed
+               { deltas = opt.Bidir.Optimize.deltas;
+                 ra = opt.Bidir.Optimize.ra;
+                 rb = opt.Bidir.Optimize.rb;
+               }
+           end
+           else Netsim.Runner.Adaptive { backoff = 0. });
+      }
+    in
+    let r = if detailed then Netsim.Detailed.run cfg else Netsim.Runner.run cfg in
+    let m = r.Netsim.Runner.metrics in
+    Printf.printf "%s, %s channel, %s schedule, %s simulator, %d blocks:\n"
+      (Bidir.Protocol.name protocol)
+      (if fading then "fading" else "static")
+      (if fixed then "fixed" else "adaptive")
+      (if detailed then "event-driven" else "block-level")
+      blocks;
+    Printf.printf "  throughput          %.4f bits/use\n" (Netsim.Metrics.throughput m);
+    Printf.printf "  analytic optimum    %.4f bits/use (mean over blocks)\n"
+      r.Netsim.Runner.analytic_mean_sum_rate;
+    Printf.printf "  outage rate         %.2f%%\n" (100. *. Netsim.Metrics.outage_rate m);
+    Printf.printf "  delivered bits      %d\n" (Netsim.Metrics.delivered_bits m);
+    Printf.printf "  undetected errors   %d\n" (Netsim.Metrics.bit_errors m);
+    (match Netsim.Metrics.phase_outages m with
+    | [] -> ()
+    | outages ->
+      Printf.printf "  outages by phase    %s\n"
+        (String.concat ", "
+           (List.map (fun (ph, n) -> Printf.sprintf "ph%d:%d" ph n) outages)))
+  in
+  let doc = "Run the packet-level simulator." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ power_arg $ gains_args $ protocol_arg $ blocks_arg
+          $ fading_arg $ fixed_arg $ seed_arg $ detailed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* select                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let select_cmd =
+  let positions_arg =
+    Arg.(value & opt (list float) [ 0.25; 0.5; 0.75 ]
+         & info [ "positions" ] ~docv:"D1,D2,..."
+             ~doc:"Candidate relay positions on the a-b segment.")
+  in
+  let exponent_arg =
+    Arg.(value & opt float 3. & info [ "alpha" ] ~docv:"A" ~doc:"Path-loss exponent.")
+  in
+  let run power_db positions exponent =
+    let pl = Channel.Pathloss.make ~exponent () in
+    let cands = Bidir.Relay_selection.candidates_on_line pl ~positions in
+    let power = Numerics.Float_utils.db_to_lin power_db in
+    let rows =
+      List.map
+        (fun cand ->
+          let c = Bidir.Relay_selection.best ~power [ cand ] in
+          [ cand.Bidir.Relay_selection.relay_id;
+            Bidir.Protocol.name c.Bidir.Relay_selection.protocol;
+            Printf.sprintf "%.4f" c.Bidir.Relay_selection.sum_rate;
+          ])
+        cands
+    in
+    print_string
+      (Chart.Table.render
+         ~headers:[ "candidate"; "best protocol"; "sum rate" ]
+         ~rows);
+    let best = Bidir.Relay_selection.best ~power cands in
+    Printf.printf "\nselected: %s with %s (%.4f bits/use)\n"
+      best.Bidir.Relay_selection.relay.Bidir.Relay_selection.relay_id
+      (Bidir.Protocol.name best.Bidir.Relay_selection.protocol)
+      best.Bidir.Relay_selection.sum_rate;
+    let sel, fixed = Bidir.Relay_selection.selection_gain ~power cands in
+    Printf.printf
+      "under fading: opportunistic selection %.4f vs fixed first candidate \
+       %.4f (+%.1f%%)\n"
+      sel fixed
+      (100. *. ((sel /. fixed) -. 1.))
+  in
+  let doc = "Choose the best relay among candidates on the a-b line." in
+  Cmd.v (Cmd.info "select" ~doc)
+    Term.(const run $ power_arg $ positions_arg $ exponent_arg)
+
+(* ------------------------------------------------------------------ *)
+(* arq                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let arq_cmd =
+  let backoff_arg =
+    Arg.(value & opt float 0.3
+         & info [ "backoff" ] ~docv:"F"
+             ~doc:"Rate backoff fraction relative to the mean-gain optimum.")
+  in
+  let messages_arg =
+    Arg.(value & opt int 300 & info [ "messages" ] ~docv:"N" ~doc:"Message pairs.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 8 & info [ "retries" ] ~docv:"K" ~doc:"Retry budget per pair.")
+  in
+  let run power_db gains protocol backoff messages max_retries =
+    let s = Bidir.Gaussian.scenario ~power_db ~gains in
+    let opt = Bidir.Optimize.sum_rate protocol Bidir.Bound.Inner s in
+    let r =
+      Netsim.Arq.run
+        { Netsim.Arq.protocol;
+          power = Numerics.Float_utils.db_to_lin power_db;
+          fading = Channel.Fading.create ~rng_seed:17 ~mean:gains ();
+          deltas = opt.Bidir.Optimize.deltas;
+          ra = opt.Bidir.Optimize.ra *. (1. -. backoff);
+          rb = opt.Bidir.Optimize.rb *. (1. -. backoff);
+          block_symbols = 2_000;
+          messages;
+          max_retries;
+          seed = 23;
+        }
+    in
+    Printf.printf "%s + ARQ under Rayleigh fading (backoff %.0f%%):\n"
+      (Bidir.Protocol.name protocol) (100. *. backoff);
+    Printf.printf "  delivered pairs   %d / %d\n" r.Netsim.Arq.delivered_pairs messages;
+    Printf.printf "  dropped pairs     %d\n" r.Netsim.Arq.dropped_pairs;
+    Printf.printf "  goodput           %.4f bits/use\n" r.Netsim.Arq.goodput;
+    Printf.printf "  attempts/pair     %.2f (max %d)\n" r.Netsim.Arq.mean_attempts
+      r.Netsim.Arq.max_attempts_seen;
+    Printf.printf "  blocks consumed   %d\n" r.Netsim.Arq.total_blocks
+  in
+  let doc = "Fixed-rate schedule with stop-and-wait ARQ under fading." in
+  Cmd.v (Cmd.info "arq" ~doc)
+    Term.(const run $ power_arg $ gains_args $ protocol_arg $ backoff_arg
+          $ messages_arg $ retries_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let lo_arg = Arg.(value & opt float (-10.) & info [ "from" ] ~docv:"DB" ~doc:"Sweep start (dB).") in
+  let hi_arg = Arg.(value & opt float 25. & info [ "to" ] ~docv:"DB" ~doc:"Sweep end (dB).") in
+  let steps_arg = Arg.(value & opt int 15 & info [ "steps" ] ~docv:"N" ~doc:"Sweep points.") in
+  let run gains lo hi steps =
+    let rows =
+      Array.to_list
+        (Array.map
+           (fun power_db ->
+             let s = Bidir.Gaussian.scenario ~power_db ~gains in
+             let rates = Bidir.Optimize.all_sum_rates Bidir.Bound.Inner s in
+             let best = Bidir.Optimize.best_protocol Bidir.Bound.Inner s in
+             Printf.sprintf "%7.2f" power_db
+             :: List.map
+                  (fun r -> Printf.sprintf "%.4f" r.Bidir.Optimize.sum_rate)
+                  rates
+             @ [ Bidir.Protocol.name best.Bidir.Optimize.protocol ])
+           (Numerics.Float_utils.linspace lo hi steps))
+    in
+    print_string
+      (Chart.Table.render
+         ~headers:[ "P (dB)"; "DT"; "MABC"; "TDBC"; "HBC"; "best" ]
+         ~rows);
+    print_newline ();
+    let crossings =
+      Bidir.Optimize.crossover_powers_db ~lo_db:lo ~hi_db:hi
+        (Bidir.Protocol.Mabc, Bidir.Protocol.Tdbc)
+        ~gains Bidir.Bound.Inner
+    in
+    match crossings with
+    | [] -> print_endline "no MABC/TDBC crossover in the sweep range"
+    | xs ->
+      Printf.printf "MABC/TDBC crossover at: %s\n"
+        (String.concat ", " (List.map (Printf.sprintf "%.2f dB") xs))
+  in
+  let doc = "Sweep transmit power and report per-protocol sum rates." in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run $ gains_args $ lo_arg $ hi_arg $ steps_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc =
+    "performance bounds for bidirectional coded cooperation protocols \
+     (Kim, Mitran, Tarokh)"
+  in
+  let info = Cmd.info "bidir" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ figures_cmd; sumrate_cmd; region_cmd; simulate_cmd; sweep_cmd;
+      select_cmd; arq_cmd ]
+
+let () =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  exit (Cmd.eval main_cmd)

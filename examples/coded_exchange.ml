@@ -1,0 +1,85 @@
+(* Physical-layer network coding, end to end with a real FEC.
+
+   The MABC protocol's phase 1 superposes the two terminals' signals at
+   the relay. Over the binary noisy-XOR multiple-access channel
+     Yr = Xa xor Xb xor Bern(p)
+   and a LINEAR code, the superposition of two codewords is itself the
+   codeword of the XOR of the two messages:
+     enc(wa) xor enc(wb) = enc(wa xor wb).
+   The relay can therefore run one Viterbi decode on the superposed
+   noisy word and directly obtain w_r = wa xor wb — exactly the quantity
+   the paper's relay needs to broadcast, without decoding wa and wb
+   separately. This example runs the whole exchange with the K=7
+   convolutional code and counts frame successes against the analytic
+   threshold (rate <= 1 - H2(p) per phase).
+
+   Run with: dune exec examples/coded_exchange.exe *)
+
+let frames = 200
+let message_bits = 256
+
+let () =
+  let code = Coding.Convolutional.k7_rate_half () in
+  let rate = Coding.Convolutional.rate code ~message_bits in
+  Printf.printf
+    "Coded MABC exchange: K=7 rate-1/2 convolutional code, %d-bit messages\n"
+    message_bits;
+  Printf.printf
+    "phase rate %.3f bits/use; analytic decode threshold 1 - H2(p) > %.3f\n\n"
+    rate rate;
+  let run_at p_noise =
+    let rng = Prob.Rng.create ~seed:(1000 + int_of_float (p_noise *. 1e4)) in
+    let flip word p =
+      let noisy = Coding.Bitvec.copy word in
+      for i = 0 to Coding.Bitvec.length noisy - 1 do
+        if Prob.Rng.bernoulli rng ~p then
+          Coding.Bitvec.set noisy i (not (Coding.Bitvec.get noisy i))
+      done;
+      noisy
+    in
+    let ok = ref 0 in
+    for _ = 1 to frames do
+      let wa = Coding.Bitvec.random rng message_bits in
+      let wb = Coding.Bitvec.random rng message_bits in
+      (* phase 1: superposition at the relay through the noisy-XOR MAC *)
+      let superposed =
+        flip
+          (Coding.Bitvec.xor
+             (Coding.Convolutional.encode code wa)
+             (Coding.Convolutional.encode code wb))
+          p_noise
+      in
+      let wr = Coding.Convolutional.decode code superposed in
+      (* phase 2: relay re-encodes the XOR and broadcasts; each terminal
+         sees its own BSC *)
+      let bcast = Coding.Convolutional.encode code wr in
+      let at_b = Coding.Convolutional.decode code (flip bcast p_noise) in
+      let at_a = Coding.Convolutional.decode code (flip bcast p_noise) in
+      let wa_hat = Coding.Bitvec.xor at_b wb in
+      let wb_hat = Coding.Bitvec.xor at_a wa in
+      if Coding.Bitvec.equal wa_hat wa && Coding.Bitvec.equal wb_hat wb then
+        incr ok
+    done;
+    float_of_int !ok /. float_of_int frames
+  in
+  let rows =
+    List.map
+      (fun p ->
+        let margin = 1. -. Infotheory.Info.binary_entropy p -. rate in
+        [ Printf.sprintf "%.3f" p;
+          Printf.sprintf "%.3f" (1. -. Infotheory.Info.binary_entropy p);
+          Printf.sprintf "%+.3f" margin;
+          Printf.sprintf "%.1f%%" (100. *. run_at p);
+        ])
+      [ 0.001; 0.01; 0.02; 0.04; 0.07; 0.11; 0.15 ]
+  in
+  print_string
+    (Chart.Table.render
+       ~headers:
+         [ "channel p"; "capacity 1-H2(p)"; "margin vs rate"; "frame success" ]
+       ~rows);
+  print_string
+    "\nWith margin the K=7 code delivers essentially every frame; as the\n\
+     channel approaches the analytic threshold the success rate collapses\n\
+     — the finite-constraint-length gap to capacity, exactly where the\n\
+     paper's asymptotic bounds say the cliff must be.\n"

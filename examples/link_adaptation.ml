@@ -1,0 +1,91 @@
+(* Link adaptation under quasi-static Rayleigh fading: what should a
+   system without transmitter CSI do?
+
+   Three strategies for the TDBC protocol at P = 10 dB:
+     1. full-CSI adaptation        (the ergodic benchmark)
+     2. fixed rate + block ARQ     (retransmit failed blocks)
+     3. epsilon-outage provisioning (pick the rate whose outage is eps)
+
+   Run with: dune exec examples/link_adaptation.exe *)
+
+let gains = Channel.Gains.paper_fig4
+let power_db = 10.
+let power = Numerics.Float_utils.db_to_lin power_db
+let protocol = Bidir.Protocol.Tdbc
+
+let fresh_fading seed = Channel.Fading.create ~rng_seed:seed ~mean:gains ()
+
+let () =
+  Printf.printf
+    "Link adaptation study: %s at P = %g dB, Rayleigh fading (mean %s)\n\n"
+    (Bidir.Protocol.name protocol)
+    power_db
+    (Format.asprintf "%a" Channel.Gains.pp gains);
+
+  (* 1. the full-CSI benchmark *)
+  let ergodic =
+    Bidir.Ergodic.ergodic_sum_rate ~blocks:3000 (fresh_fading 1) ~power
+      protocol
+  in
+  let lo, hi = ergodic.Bidir.Ergodic.ci95 in
+  Printf.printf "full-CSI ergodic sum rate: %.4f bits/use (95%% CI [%.4f, %.4f])\n\n"
+    ergodic.Bidir.Ergodic.mean lo hi;
+
+  (* 2. fixed schedule + ARQ at several rate backoffs *)
+  let s = Bidir.Gaussian.scenario ~power_db ~gains in
+  let opt = Bidir.Optimize.sum_rate protocol Bidir.Bound.Inner s in
+  let arq_at backoff =
+    Netsim.Arq.run
+      { Netsim.Arq.protocol;
+        power;
+        fading = fresh_fading 2;
+        deltas = opt.Bidir.Optimize.deltas;
+        ra = opt.Bidir.Optimize.ra *. (1. -. backoff);
+        rb = opt.Bidir.Optimize.rb *. (1. -. backoff);
+        block_symbols = 2_000;
+        messages = 400;
+        max_retries = 8;
+        seed = 3;
+      }
+  in
+  let rows =
+    List.map
+      (fun backoff ->
+        let r = arq_at backoff in
+        [ Printf.sprintf "%.0f%%" (100. *. backoff);
+          Printf.sprintf "%.4f" r.Netsim.Arq.goodput;
+          Printf.sprintf "%.2f" r.Netsim.Arq.mean_attempts;
+          Printf.sprintf "%d" r.Netsim.Arq.dropped_pairs;
+        ])
+      [ 0.1; 0.3; 0.5; 0.7 ]
+  in
+  print_endline "fixed schedule (mean-gain optimum) + stop-and-wait ARQ:";
+  print_string
+    (Chart.Table.render
+       ~headers:[ "rate backoff"; "goodput"; "attempts/pair"; "dropped" ]
+       ~rows);
+  print_newline ();
+
+  (* 3. epsilon-outage provisioning *)
+  let rows =
+    List.map
+      (fun epsilon ->
+        let r =
+          Bidir.Ergodic.epsilon_outage_sum_rate ~blocks:800 (fresh_fading 4)
+            ~power protocol ~epsilon
+        in
+        [ Printf.sprintf "%.0f%%" (100. *. epsilon);
+          Printf.sprintf "%.4f" r;
+          Printf.sprintf "%.4f" (r *. (1. -. epsilon));
+        ])
+      [ 0.01; 0.05; 0.1; 0.25 ]
+  in
+  print_endline "epsilon-outage provisioning (symmetric service):";
+  print_string
+    (Chart.Table.render
+       ~headers:[ "target outage"; "provisioned sum rate"; "expected goodput" ]
+       ~rows);
+  print_string
+    "\nFull-CSI adaptation is the upper envelope; ARQ approaches it as the\n\
+     backoff grows (fewer retries) until the rate penalty dominates, and\n\
+     outage provisioning trades a deterministic rate for a known loss.\n"

@@ -1,0 +1,89 @@
+(* Running the protocols as a distributed system: the discrete-event
+   simulator moves real (CRC-protected) bits through the half-duplex
+   network, the relay XORs the two messages, and each terminal recovers
+   the opposite one. The measured throughput is compared against the
+   analytic optimum from the bounds, first on a static channel and then
+   under Rayleigh block fading with a schedule that is fixed in advance
+   (and therefore suffers outages).
+
+   Run with: dune exec examples/network_sim.exe *)
+
+let gains = Channel.Gains.paper_fig4
+let power_db = 10.
+
+let () =
+  Printf.printf
+    "Packet-level simulation, static channel (P = %g dB, Fig. 4 gains)\n\n"
+    power_db;
+  let rows =
+    List.map
+      (fun protocol ->
+        let cfg =
+          Netsim.Runner.default_config ~protocol ~power_db ~gains ~blocks:100
+            ~block_symbols:10_000 ()
+        in
+        let r = Netsim.Runner.run cfg in
+        let m = r.Netsim.Runner.metrics in
+        [ Bidir.Protocol.name protocol;
+          Printf.sprintf "%.4f" (Netsim.Metrics.throughput m);
+          Printf.sprintf "%.4f" r.Netsim.Runner.analytic_mean_sum_rate;
+          Printf.sprintf "%.2f%%" (100. *. Netsim.Metrics.outage_rate m);
+          string_of_int (Netsim.Metrics.bit_errors m);
+          string_of_int (Netsim.Metrics.delivered_bits m);
+        ])
+      Bidir.Protocol.all
+  in
+  print_string
+    (Chart.Table.render
+       ~headers:
+         [ "protocol"; "measured thr"; "analytic opt"; "outage";
+           "undetected errs"; "bits delivered" ]
+       ~rows);
+
+  Printf.printf
+    "\nRayleigh block fading, TDBC: full-CSI adaptive vs fixed schedule\n\n";
+  let fading seed = Channel.Fading.create ~rng_seed:seed ~mean:gains () in
+  let base =
+    Netsim.Runner.default_config ~protocol:Bidir.Protocol.Tdbc ~power_db ~gains
+      ~blocks:2_000 ~block_symbols:1_000 ()
+  in
+  let adaptive =
+    Netsim.Runner.run { base with Netsim.Runner.fading = fading 11 }
+  in
+  (* fixed schedule optimised for the mean gains, then hit by fading *)
+  let s = Bidir.Gaussian.scenario ~power_db ~gains in
+  let opt = Bidir.Optimize.sum_rate Bidir.Protocol.Tdbc Bidir.Bound.Inner s in
+  let fixed_at backoff =
+    Netsim.Runner.run
+      { base with
+        Netsim.Runner.fading = fading 11;
+        mode =
+          Netsim.Runner.Fixed
+            { deltas = opt.Bidir.Optimize.deltas;
+              ra = opt.Bidir.Optimize.ra *. (1. -. backoff);
+              rb = opt.Bidir.Optimize.rb *. (1. -. backoff);
+            };
+      }
+  in
+  let row label r =
+    let m = r.Netsim.Runner.metrics in
+    [ label;
+      Printf.sprintf "%.4f" (Netsim.Metrics.throughput m);
+      Printf.sprintf "%.2f%%" (100. *. Netsim.Metrics.outage_rate m);
+    ]
+  in
+  let rows =
+    row "adaptive (full CSI)" adaptive
+    :: List.map
+         (fun backoff ->
+           row
+             (Printf.sprintf "fixed, %.0f%% rate backoff" (100. *. backoff))
+             (fixed_at backoff))
+         [ 0.; 0.3; 0.6; 0.8 ]
+  in
+  print_string
+    (Chart.Table.render ~headers:[ "schedule"; "throughput"; "outage" ] ~rows);
+  print_string
+    "\nThe fixed schedule trades rate for reliability: backing the rate\n\
+     off reduces outages but caps throughput, while full-CSI adaptation\n\
+     tracks the instantaneous optimum with zero outage.\n"

@@ -1,0 +1,42 @@
+(* Quickstart: compute and compare the bidirectional protocols on one
+   channel — the five-minute tour of the public API.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Describe the channel: gains in dB (the paper's Fig. 4 setting)
+        and a transmit power. *)
+  let gains = Channel.Gains.of_db ~g_ab:0. ~g_ar:5. ~g_br:7. in
+  let scenario = Bidir.Gaussian.scenario ~power_db:10. ~gains in
+
+  (* 2. Optimal sum rates with LP-optimised phase durations. *)
+  Printf.printf "Optimal sum rates at P = 10 dB, %s:\n"
+    (Format.asprintf "%a" Channel.Gains.pp gains);
+  List.iter
+    (fun protocol ->
+      let r = Bidir.Optimize.sum_rate protocol Bidir.Bound.Inner scenario in
+      Printf.printf "  %-4s  %.4f bits/use  (Ra=%.4f Rb=%.4f, durations: %s)\n"
+        (Bidir.Protocol.name protocol)
+        r.Bidir.Optimize.sum_rate r.Bidir.Optimize.ra r.Bidir.Optimize.rb
+        (String.concat ", "
+           (Array.to_list
+              (Array.map (Printf.sprintf "%.3f") r.Bidir.Optimize.deltas))))
+    Bidir.Protocol.all;
+
+  (* 3. Is a specific rate pair achievable under TDBC? *)
+  let tdbc = Bidir.Gaussian.bounds Bidir.Protocol.Tdbc Bidir.Bound.Inner scenario in
+  List.iter
+    (fun (ra, rb) ->
+      Printf.printf "  TDBC achieves (Ra=%.1f, Rb=%.1f)? %b\n" ra rb
+        (Bidir.Rate_region.achievable tdbc ~ra ~rb))
+    [ (1.0, 1.0); (2.5, 2.5) ];
+
+  (* 4. Which protocol should this network use? *)
+  let best = Bidir.Optimize.best_protocol Bidir.Bound.Inner scenario in
+  Printf.printf "\nBest protocol at 10 dB: %s (%.4f bits/use)\n"
+    (Bidir.Protocol.name best.Bidir.Optimize.protocol)
+    best.Bidir.Optimize.sum_rate;
+
+  (* 5. A rate-region picture, straight to the terminal. *)
+  print_newline ();
+  print_string (Report.render_figure (Bidir.Figures.fig4 ~power_db:10. ()))

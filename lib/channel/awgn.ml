@@ -1,0 +1,13 @@
+let c x =
+  if x < 0. then invalid_arg "Awgn.c: negative SNR";
+  Numerics.Float_utils.log2 (1. +. x)
+
+let c_inv r =
+  if r < 0. then invalid_arg "Awgn.c_inv: negative rate";
+  (2. ** r) -. 1.
+
+let mac_sum s1 s2 = c (s1 +. s2)
+
+let snr ~power ~gain =
+  if power < 0. || gain < 0. then invalid_arg "Awgn.snr: negative argument";
+  power *. gain

@@ -1,0 +1,19 @@
+(** AWGN rate formulas (complex baseband, unit noise power).
+
+    Throughout the Gaussian evaluation the paper uses
+    [C(x) = log2 (1 + x)] — the capacity of a complex AWGN channel at
+    receive SNR [x] — with each node transmitting at power [P] per phase
+    and unit-power circularly-symmetric noise. *)
+
+val c : float -> float
+(** [c x = log2 (1 + x)]; requires [x >= 0]. *)
+
+val c_inv : float -> float
+(** [c_inv r] is the SNR needed for rate [r]: [2^r - 1]. *)
+
+val mac_sum : float -> float -> float
+(** [mac_sum s1 s2 = C (s1 + s2)] — the two-user Gaussian MAC sum-rate
+    bound at receive SNRs [s1] and [s2]. *)
+
+val snr : power:float -> gain:float -> float
+(** [snr ~power ~gain] is the receive SNR [power * gain] (unit noise). *)

@@ -1,0 +1,31 @@
+type kind = Static | Rayleigh of Prob.Rng.t
+
+type t = { kind : kind; mean : Gains.t }
+
+let create ?(rng_seed = 0x5EED) ~mean () =
+  { kind = Rayleigh (Prob.Rng.create ~seed:rng_seed); mean }
+
+let static gains = { kind = Static; mean = gains }
+
+let draw t =
+  match t.kind with
+  | Static -> t.mean
+  | Rayleigh rng ->
+    let sample mean_power =
+      if mean_power = 0. then 0.
+      else Prob.Dist.exponential_power_gain rng ~mean:mean_power
+    in
+    Gains.make
+      ~g_ab:(sample t.mean.Gains.g_ab)
+      ~g_ar:(sample t.mean.Gains.g_ar)
+      ~g_br:(sample t.mean.Gains.g_br)
+
+let mean t = t.mean
+
+let expected_over_blocks t ~blocks f =
+  if blocks <= 0 then invalid_arg "Fading.expected_over_blocks: blocks <= 0";
+  let acc = ref 0. in
+  for _ = 1 to blocks do
+    acc := !acc +. f (draw t)
+  done;
+  !acc /. float_of_int blocks

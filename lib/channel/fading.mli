@@ -1,0 +1,27 @@
+(** Quasi-static Rayleigh block fading.
+
+    The paper's Gaussian section models each [g_ij] as a combination of
+    path loss (mean) and quasi-static fading: the gain is constant over a
+    protocol block and i.i.d. across blocks. All nodes have full CSI
+    within a block, so per-block rates are the instantaneous bound
+    evaluated at the realised gains. *)
+
+type t
+(** A fading process over the three links of the network. *)
+
+val create : ?rng_seed:int -> mean:Gains.t -> unit -> t
+(** Rayleigh fading with per-link mean power given by [mean]; the
+    realised power gains are exponential with those means. *)
+
+val static : Gains.t -> t
+(** No fading: every block sees exactly the given gains. *)
+
+val draw : t -> Gains.t
+(** Sample the gains for the next block (advances the process state). *)
+
+val mean : t -> Gains.t
+
+val expected_over_blocks : t -> blocks:int -> (Gains.t -> float) -> float
+(** [expected_over_blocks t ~blocks f] is the Monte-Carlo average of [f]
+    over [blocks] independent draws (the long-run average rate of a
+    full-CSI adaptive scheme). *)

@@ -1,0 +1,24 @@
+type t = { g_ab : float; g_ar : float; g_br : float }
+
+let make ~g_ab ~g_ar ~g_br =
+  if g_ab < 0. || g_ar < 0. || g_br < 0. then
+    invalid_arg "Gains.make: negative power gain";
+  { g_ab; g_ar; g_br }
+
+let of_db ~g_ab ~g_ar ~g_br =
+  let lin = Numerics.Float_utils.db_to_lin in
+  { g_ab = lin g_ab; g_ar = lin g_ar; g_br = lin g_br }
+
+let to_db t =
+  let db = Numerics.Float_utils.lin_to_db in
+  (db t.g_ab, db t.g_ar, db t.g_br)
+
+let paper_fig4 = of_db ~g_ab:0. ~g_ar:5. ~g_br:7.
+
+let satisfies_paper_ordering t = t.g_ab <= t.g_ar && t.g_ar <= t.g_br
+
+let swap_terminals t = { t with g_ar = t.g_br; g_br = t.g_ar }
+
+let pp fmt t =
+  let ab, ar, br = to_db t in
+  Format.fprintf fmt "{Gab=%.1fdB Gar=%.1fdB Gbr=%.1fdB}" ab ar br

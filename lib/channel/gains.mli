@@ -1,0 +1,34 @@
+(** Power gains of the three links of the bidirectional relay channel.
+
+    [g_ij = |h_ij|^2] combines path loss and fading as in Section IV of
+    the paper; links are reciprocal ([g_ij = g_ji]), so three numbers
+    describe the network: terminal-terminal [g_ab], terminal-relay
+    [g_ar] and [g_br]. *)
+
+type t = {
+  g_ab : float;  (** direct link a <-> b, linear power gain *)
+  g_ar : float;  (** link a <-> r *)
+  g_br : float;  (** link b <-> r *)
+}
+
+val make : g_ab:float -> g_ar:float -> g_br:float -> t
+(** Validates non-negativity. *)
+
+val of_db : g_ab:float -> g_ar:float -> g_br:float -> t
+(** Gains given in dB. *)
+
+val to_db : t -> float * float * float
+(** [(g_ab, g_ar, g_br)] in dB. *)
+
+val paper_fig4 : t
+(** The gain triple used in the paper's Fig. 4:
+    [g_ab = 0 dB, g_ar = 5 dB, g_br = 7 dB] (satisfying the paper's
+    standing assumption [g_ab <= g_ar <= g_br]). *)
+
+val satisfies_paper_ordering : t -> bool
+(** The paper's "interesting case": [g_ab <= g_ar <= g_br]. *)
+
+val swap_terminals : t -> t
+(** Exchange the roles of a and b. *)
+
+val pp : Format.formatter -> t -> unit

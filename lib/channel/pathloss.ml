@@ -1,0 +1,25 @@
+type t = { exponent : float; g_ab_ref : float }
+
+let make ?(g_ab_ref_db = 0.) ~exponent () =
+  if exponent <= 0. then invalid_arg "Pathloss.make: exponent must be positive";
+  { exponent; g_ab_ref = Numerics.Float_utils.db_to_lin g_ab_ref_db }
+
+let gain_of_distance t d =
+  if d <= 0. then invalid_arg "Pathloss: zero distance";
+  t.g_ab_ref *. (d ** -.t.exponent)
+
+let gains_on_line t ~relay_position =
+  if relay_position <= 0. || relay_position >= 1. then
+    invalid_arg "Pathloss.gains_on_line: relay must lie strictly between a and b";
+  Gains.make ~g_ab:t.g_ab_ref
+    ~g_ar:(gain_of_distance t relay_position)
+    ~g_br:(gain_of_distance t (1. -. relay_position))
+
+let gains_at t ~relay_xy:(x, y) =
+  let da = sqrt ((x *. x) +. (y *. y)) in
+  let db = sqrt (((x -. 1.) *. (x -. 1.)) +. (y *. y)) in
+  Gains.make ~g_ab:t.g_ab_ref ~g_ar:(gain_of_distance t da)
+    ~g_br:(gain_of_distance t db)
+
+let midpoint_gain_db t =
+  Numerics.Float_utils.lin_to_db (gain_of_distance t 0.5)

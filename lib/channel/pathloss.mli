@@ -1,0 +1,28 @@
+(** Path-loss geometry for relay placement studies.
+
+    Nodes a and b sit a unit distance apart; the relay sits on (or off)
+    the segment between them. Power gains follow the standard power law
+    [G = d^(-alpha)], normalised so the direct a–b link has the gain
+    [g_ab_ref] (the paper's sweeps fix [G_ab = 0 dB]). *)
+
+type t = {
+  exponent : float;   (** path-loss exponent alpha, typically 2..4 *)
+  g_ab_ref : float;   (** linear gain of the unit-length a-b link *)
+}
+
+val make : ?g_ab_ref_db:float -> exponent:float -> unit -> t
+(** [g_ab_ref_db] defaults to 0 dB. Requires [exponent > 0]. *)
+
+val gains_on_line : t -> relay_position:float -> Gains.t
+(** [gains_on_line pl ~relay_position:d] places the relay at distance
+    [d] from a and [1 - d] from b on the segment; requires
+    [0 < d < 1]. Gains: [g_ar = g_ab_ref * d^-alpha],
+    [g_br = g_ab_ref * (1-d)^-alpha]. *)
+
+val gains_at : t -> relay_xy:float * float -> Gains.t
+(** Relay at arbitrary planar coordinates, with a at (0,0), b at (1,0).
+    The relay must not coincide with a terminal. *)
+
+val midpoint_gain_db : t -> float
+(** Gain (dB) of a terminal-relay link when the relay is at the midpoint
+    — handy as a sanity check: [alpha * 3.01 dB] above [g_ab_ref]. *)

@@ -1,0 +1,55 @@
+type t = { w : int; h : int; cells : Bytes.t }
+
+let create ~width ~height =
+  if width < 1 || height < 1 then invalid_arg "Canvas.create: empty canvas";
+  { w = width; h = height; cells = Bytes.make (width * height) ' ' }
+
+let width t = t.w
+let height t = t.h
+
+let plot t ~x ~y c =
+  if x >= 0 && x < t.w && y >= 0 && y < t.h then
+    (* row 0 of the byte buffer is the top of the screen *)
+    Bytes.set t.cells (((t.h - 1 - y) * t.w) + x) c
+
+let get t ~x ~y =
+  if x < 0 || x >= t.w || y < 0 || y >= t.h then ' '
+  else Bytes.get t.cells (((t.h - 1 - y) * t.w) + x)
+
+let hline t ~y c =
+  for x = 0 to t.w - 1 do
+    plot t ~x ~y c
+  done
+
+let vline t ~x c =
+  for y = 0 to t.h - 1 do
+    plot t ~x ~y c
+  done
+
+let line t ~x0 ~y0 ~x1 ~y1 c =
+  let dx = abs (x1 - x0) and dy = -abs (y1 - y0) in
+  let sx = if x0 < x1 then 1 else -1 and sy = if y0 < y1 then 1 else -1 in
+  let rec go x y err =
+    plot t ~x ~y c;
+    if x <> x1 || y <> y1 then begin
+      let e2 = 2 * err in
+      let x', err' = if e2 >= dy then (x + sx, err + dy) else (x, err) in
+      let y', err'' = if e2 <= dx then (y + sy, err' + dx) else (y, err') in
+      go x' y' err''
+    end
+  in
+  go x0 y0 (dx + dy)
+
+let render t =
+  let buf = Buffer.create (t.w * t.h) in
+  for row = 0 to t.h - 1 do
+    let line = Bytes.sub_string t.cells (row * t.w) t.w in
+    (* trim trailing blanks for cleaner output *)
+    let len = ref (String.length line) in
+    while !len > 0 && line.[!len - 1] = ' ' do
+      decr len
+    done;
+    Buffer.add_string buf (String.sub line 0 !len);
+    if row < t.h - 1 then Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** A character-cell drawing surface for terminal plots. *)
+
+type t
+
+val create : width:int -> height:int -> t
+(** Blank canvas ([width], [height] in character cells, both >= 1). *)
+
+val width : t -> int
+val height : t -> int
+
+val plot : t -> x:int -> y:int -> char -> unit
+(** Sets a cell; (0,0) is the bottom-left corner. Out-of-range
+    coordinates are ignored (clipping), so callers can draw freely. *)
+
+val get : t -> x:int -> y:int -> char
+
+val hline : t -> y:int -> char -> unit
+val vline : t -> x:int -> char -> unit
+
+val line : t -> x0:int -> y0:int -> x1:int -> y1:int -> char -> unit
+(** Bresenham segment. *)
+
+val render : t -> string
+(** Rows top-to-bottom, newline-separated, trailing blanks trimmed. *)

@@ -1,0 +1,71 @@
+type 'a t = {
+  cells : 'a array array;
+  glyph : 'a -> char;
+  x_axis : float array;
+  y_axis : float array;
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  legend : (char * string) list;
+}
+
+let validate t =
+  if Array.length t.cells <> Array.length t.y_axis then
+    invalid_arg "Heatmap: row count does not match the y axis";
+  Array.iter
+    (fun row ->
+      if Array.length row <> Array.length t.x_axis then
+        invalid_arg "Heatmap: column count does not match the x axis")
+    t.cells
+
+let render t =
+  validate t;
+  let rows = Array.length t.y_axis and cols = Array.length t.x_axis in
+  let buf = Buffer.create 2048 in
+  if t.title <> "" then begin
+    Buffer.add_string buf t.title;
+    Buffer.add_char buf '\n'
+  end;
+  for row = rows - 1 downto 0 do
+    (* label the top, middle and bottom rows *)
+    let label =
+      if row = rows - 1 || row = 0 || row = rows / 2 then
+        Printf.sprintf "%10.3f |" t.y_axis.(row)
+      else Printf.sprintf "%10s |" ""
+    in
+    Buffer.add_string buf label;
+    for col = 0 to cols - 1 do
+      Buffer.add_char buf (t.glyph t.cells.(row).(col));
+      Buffer.add_char buf ' '
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "%10s +%s\n" "" (String.make (2 * cols) '-'));
+  Buffer.add_string buf
+    (Printf.sprintf "%10s %-*.3f%*.3f\n" "" (max 1 cols) t.x_axis.(0)
+       (max 1 cols) t.x_axis.(cols - 1));
+  if t.xlabel <> "" then Buffer.add_string buf (Printf.sprintf "%10s %s\n" "" t.xlabel);
+  if t.ylabel <> "" then Buffer.add_string buf (Printf.sprintf "y: %s\n" t.ylabel);
+  List.iter
+    (fun (c, label) -> Buffer.add_string buf (Printf.sprintf "  %c %s\n" c label))
+    t.legend;
+  Buffer.contents buf
+
+let tabulate ~f ~glyph ~x_axis ~y_axis ~title ~xlabel ~ylabel ~legend =
+  let t =
+    { cells =
+        Array.map
+          (fun y -> Array.map (fun x -> f ~x ~y) x_axis)
+          y_axis;
+      glyph;
+      x_axis;
+      y_axis;
+      title;
+      xlabel;
+      ylabel;
+      legend;
+    }
+  in
+  validate t;
+  t

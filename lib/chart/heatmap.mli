@@ -1,0 +1,24 @@
+(** Categorical heatmaps: a character per cell, for "which option wins
+    where" maps over a 2-D parameter plane. *)
+
+type 'a t = {
+  cells : 'a array array;       (** [cells.(row).(col)]; row 0 is the bottom *)
+  glyph : 'a -> char;           (** cell renderer *)
+  x_axis : float array;         (** column coordinates (increasing) *)
+  y_axis : float array;         (** row coordinates (increasing) *)
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  legend : (char * string) list;
+}
+
+val render : 'a t -> string
+(** Bottom-left origin; y tick labels on the left edge, x range under
+    the frame, legend below. Raises [Invalid_argument] when the cell
+    grid and the axes disagree. *)
+
+val tabulate :
+  f:(x:float -> y:float -> 'a) -> glyph:('a -> char) ->
+  x_axis:float array -> y_axis:float array -> title:string ->
+  xlabel:string -> ylabel:string -> legend:(char * string) list -> 'a t
+(** Evaluate [f] on the grid. *)

@@ -1,0 +1,104 @@
+type series = { label : string; points : (float * float) list }
+
+type config = {
+  width : int;
+  height : int;
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  connect : bool;
+}
+
+let default_config =
+  { width = 72; height = 20; title = ""; xlabel = ""; ylabel = ""; connect = true }
+
+let markers = [| '*'; '+'; 'o'; 'x'; '#'; '@' |]
+
+let ranges ~zero_origin series =
+  let xs = List.concat_map (fun s -> List.map fst s.points) series in
+  let ys = List.concat_map (fun s -> List.map snd s.points) series in
+  match (xs, ys) with
+  | [], _ | _, [] -> None
+  | _ ->
+    let fold f = List.fold_left f in
+    let x_min = fold Float.min infinity xs and x_max = fold Float.max neg_infinity xs in
+    let y_min = fold Float.min infinity ys and y_max = fold Float.max neg_infinity ys in
+    let x_min = if zero_origin then Float.min 0. x_min else x_min in
+    let y_min = if zero_origin then Float.min 0. y_min else y_min in
+    let pad lo hi = if hi -. lo < 1e-12 then (lo -. 0.5, hi +. 0.5) else (lo, hi) in
+    let x_min, x_max = pad x_min x_max and y_min, y_max = pad y_min y_max in
+    Some ((x_min, x_max), (y_min, y_max))
+
+let render_with ~zero_origin ?(config = default_config) series =
+  match ranges ~zero_origin series with
+  | None -> "(no data)"
+  | Some ((x_min, x_max), (y_min, y_max)) ->
+    let c = Canvas.create ~width:config.width ~height:config.height in
+    let to_cell_x x =
+      int_of_float
+        (Float.round
+           ((x -. x_min) /. (x_max -. x_min) *. float_of_int (config.width - 1)))
+    in
+    let to_cell_y y =
+      int_of_float
+        (Float.round
+           ((y -. y_min) /. (y_max -. y_min) *. float_of_int (config.height - 1)))
+    in
+    List.iteri
+      (fun i s ->
+        let marker = markers.(i mod Array.length markers) in
+        let cells =
+          List.map (fun (x, y) -> (to_cell_x x, to_cell_y y)) s.points
+        in
+        (if config.connect then
+           let rec connect = function
+             | (x0, y0) :: ((x1, y1) :: _ as rest) ->
+               Canvas.line c ~x0 ~y0 ~x1 ~y1 '.';
+               connect rest
+             | _ -> ()
+           in
+           connect cells);
+        List.iter (fun (x, y) -> Canvas.plot c ~x ~y marker) cells)
+      series;
+    let buf = Buffer.create 4096 in
+    if config.title <> "" then begin
+      Buffer.add_string buf config.title;
+      Buffer.add_char buf '\n'
+    end;
+    (* y-axis labels on the left of each canvas row *)
+    let body = String.split_on_char '\n' (Canvas.render c) in
+    let label_for_row row =
+      (* row 0 is the top *)
+      let frac = float_of_int (config.height - 1 - row) /. float_of_int (config.height - 1) in
+      y_min +. (frac *. (y_max -. y_min))
+    in
+    List.iteri
+      (fun row line ->
+        let label =
+          if row = 0 || row = config.height - 1 || row = (config.height - 1) / 2
+          then Printf.sprintf "%10.3f |" (label_for_row row)
+          else Printf.sprintf "%10s |" ""
+        in
+        Buffer.add_string buf label;
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n')
+      body;
+    Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make config.width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%10s %-*.3f%*.3f\n" "" (config.width / 2) x_min
+         (config.width - (config.width / 2))
+         x_max);
+    if config.xlabel <> "" then
+      Buffer.add_string buf
+        (Printf.sprintf "%10s %s\n" "" config.xlabel);
+    if config.ylabel <> "" then
+      Buffer.add_string buf (Printf.sprintf "y: %s\n" config.ylabel);
+    List.iteri
+      (fun i s ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %c %s\n" markers.(i mod Array.length markers) s.label))
+      series;
+    Buffer.contents buf
+
+let render ?config series = render_with ~zero_origin:false ?config series
+let render_xy ?config series = render_with ~zero_origin:true ?config series

@@ -1,0 +1,24 @@
+(** Multi-series line charts rendered to a string for the terminal. *)
+
+type series = { label : string; points : (float * float) list }
+
+type config = {
+  width : int;     (** plot area width in cells (default 72) *)
+  height : int;    (** plot area height (default 20) *)
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  connect : bool;  (** draw segments between consecutive points *)
+}
+
+val default_config : config
+
+val render : ?config:config -> series list -> string
+(** Draws all series on shared axes with automatic ranges, one marker
+    character per series (in order: [*], [+], [o], [x], [#], [@]), a
+    legend, and numeric axis ticks. Empty input or all-empty series
+    yields a short placeholder string. *)
+
+val render_xy : ?config:config -> series list -> string
+(** Like {!render} but forces the x and y scales to start at 0 — the
+    natural frame for rate regions. *)

@@ -1,0 +1,162 @@
+type config = {
+  width : int;
+  height : int;
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  zero_origin : bool;
+}
+
+let default_config =
+  { width = 640;
+    height = 420;
+    title = "";
+    xlabel = "";
+    ylabel = "";
+    zero_origin = false;
+  }
+
+let palette =
+  [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b" |]
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render ?(config = default_config) series =
+  let buf = Buffer.create 8192 in
+  let w = config.width and h = config.height in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\" font-family=\"sans-serif\" font-size=\"12\">\n"
+       w h w h);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" w h);
+  let points = List.concat_map (fun s -> s.Line_chart.points) series in
+  (match points with
+  | [] ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"%d\" y=\"%d\" text-anchor=\"middle\">no data</text>\n"
+         (w / 2) (h / 2))
+  | _ ->
+    (* plot area inside margins *)
+    let ml, mr, mt, mb = (60, 140, 36, 52) in
+    let pw = w - ml - mr and ph = h - mt - mb in
+    let xs = List.map fst points and ys = List.map snd points in
+    let fold f = List.fold_left f in
+    let x_min = fold Float.min infinity xs and x_max = fold Float.max neg_infinity xs in
+    let y_min = fold Float.min infinity ys and y_max = fold Float.max neg_infinity ys in
+    let x_min = if config.zero_origin then Float.min 0. x_min else x_min in
+    let y_min = if config.zero_origin then Float.min 0. y_min else y_min in
+    let pad lo hi = if hi -. lo < 1e-12 then (lo -. 0.5, hi +. 0.5) else (lo, hi) in
+    let x_min, x_max = pad x_min x_max and y_min, y_max = pad y_min y_max in
+    let sx x = float_of_int ml +. ((x -. x_min) /. (x_max -. x_min) *. float_of_int pw) in
+    let sy y =
+      float_of_int (mt + ph) -. ((y -. y_min) /. (y_max -. y_min) *. float_of_int ph)
+    in
+    (* frame + ticks *)
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"none\" \
+          stroke=\"#444\"/>\n"
+         ml mt pw ph);
+    let ticks = 5 in
+    for i = 0 to ticks - 1 do
+      let fx = float_of_int i /. float_of_int (ticks - 1) in
+      let xv = x_min +. (fx *. (x_max -. x_min)) in
+      let yv = y_min +. (fx *. (y_max -. y_min)) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%.1f\" y=\"%d\" text-anchor=\"middle\" \
+            fill=\"#444\">%.3g</text>\n"
+           (sx xv) (mt + ph + 16) xv);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%d\" y=\"%.1f\" text-anchor=\"end\" \
+            fill=\"#444\">%.3g</text>\n"
+           (ml - 6) (sy yv +. 4.) yv);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\" \
+            stroke=\"#ddd\"/>\n"
+           (sx xv) mt (sx xv) (mt + ph));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" \
+            stroke=\"#ddd\"/>\n"
+           ml (sy yv) (ml + pw) (sy yv))
+    done;
+    (* series *)
+    List.iteri
+      (fun i s ->
+        let color = palette.(i mod Array.length palette) in
+        let pts =
+          String.concat " "
+            (List.map
+               (fun (x, y) -> Printf.sprintf "%.1f,%.1f" (sx x) (sy y))
+               s.Line_chart.points)
+        in
+        if s.Line_chart.points <> [] then begin
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" \
+                stroke-width=\"1.8\"/>\n"
+               pts color);
+          List.iter
+            (fun (x, y) ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.4\" fill=\"%s\"/>\n"
+                   (sx x) (sy y) color))
+            s.Line_chart.points
+        end;
+        (* legend entry *)
+        let ly = mt + 10 + (i * 18) in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"%s\" \
+              stroke-width=\"2\"/>\n"
+             (ml + pw + 12) ly (ml + pw + 34) ly color);
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<text x=\"%d\" y=\"%d\" fill=\"#222\">%s</text>\n"
+             (ml + pw + 40) (ly + 4)
+             (escape s.Line_chart.label)))
+      series;
+    if config.title <> "" then
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%d\" y=\"20\" text-anchor=\"middle\" font-size=\"14\" \
+            fill=\"#000\">%s</text>\n"
+           (w / 2) (escape config.title));
+    if config.xlabel <> "" then
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%d\" y=\"%d\" text-anchor=\"middle\" fill=\"#222\">%s</text>\n"
+           (ml + (pw / 2)) (h - 12) (escape config.xlabel));
+    if config.ylabel <> "" then
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"16\" y=\"%d\" text-anchor=\"middle\" fill=\"#222\" \
+            transform=\"rotate(-90 16 %d)\">%s</text>\n"
+           (mt + (ph / 2)) (mt + (ph / 2)) (escape config.ylabel)));
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write_file ~path ?config series =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?config series))

@@ -1,0 +1,21 @@
+(** Standalone SVG rendering of line charts — publication-style output
+    for the reproduced figures (the terminal charts' vector twin). *)
+
+type config = {
+  width : int;        (** pixel width of the whole document *)
+  height : int;
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  zero_origin : bool; (** anchor both axes at 0 (rate regions) *)
+}
+
+val default_config : config
+
+val render : ?config:config -> Line_chart.series list -> string
+(** A complete [<svg>] document: axes with tick labels, one colored
+    polyline + point markers per series, and a legend. Empty input
+    yields a small valid document with a "no data" note. *)
+
+val write_file : path:string -> ?config:config -> Line_chart.series list -> unit
+(** {!render} to a file. *)

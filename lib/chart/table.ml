@@ -1,0 +1,70 @@
+let normalise ~headers ~rows =
+  let n = List.length headers in
+  List.map
+    (fun row ->
+      let len = List.length row in
+      if len > n then invalid_arg "Table: row longer than header"
+      else row @ List.init (n - len) (fun _ -> ""))
+    rows
+
+let widths ~headers ~rows =
+  let n = List.length headers in
+  let w = Array.make n 0 in
+  List.iter
+    (fun row -> List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row)
+    (headers :: rows);
+  w
+
+let render ~headers ~rows =
+  let rows = normalise ~headers ~rows in
+  let w = widths ~headers ~rows in
+  let buf = Buffer.create 1024 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (w.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row headers;
+  Array.iteri
+    (fun i width ->
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (String.make width '-'))
+    w;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let render_markdown ~headers ~rows =
+  let rows = normalise ~headers ~rows in
+  let buf = Buffer.create 1024 in
+  let emit_row row =
+    Buffer.add_string buf "| ";
+    Buffer.add_string buf (String.concat " | " row);
+    Buffer.add_string buf " |\n"
+  in
+  emit_row headers;
+  emit_row (List.map (fun _ -> "---") headers);
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let render_csv ~headers ~rows =
+  let rows = normalise ~headers ~rows in
+  let line row = String.concat "," (List.map csv_field row) ^ "\n" in
+  String.concat "" (List.map line (headers :: rows))

@@ -1,0 +1,12 @@
+(** Aligned text and markdown tables. *)
+
+val render : headers:string list -> rows:string list list -> string
+(** Column-aligned plain-text table with a header rule. Rows shorter than
+    the header are padded with empty cells; longer rows raise
+    [Invalid_argument]. *)
+
+val render_markdown : headers:string list -> rows:string list list -> string
+
+val render_csv : headers:string list -> rows:string list list -> string
+(** RFC-4180-ish: fields containing commas, quotes or newlines are
+    quoted, quotes doubled. *)

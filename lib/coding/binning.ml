@@ -1,0 +1,65 @@
+type t = { hash : Gf2_matrix.t; message_bits : int; bin_bits : int }
+
+let create rng ~message_bits ~bin_bits =
+  if bin_bits <= 0 || bin_bits > message_bits then
+    invalid_arg "Binning.create: need 0 < bin_bits <= message_bits";
+  { hash = Gf2_matrix.random_full_rank rng ~rows:bin_bits ~cols:message_bits;
+    message_bits;
+    bin_bits;
+  }
+
+let message_bits t = t.message_bits
+let bin_bits t = t.bin_bits
+
+let bin t w =
+  if Bitvec.length w <> t.message_bits then
+    invalid_arg "Binning.bin: message length mismatch";
+  Gf2_matrix.mul_vec t.hash w
+
+let xor_bins t b1 b2 =
+  if Bitvec.length b1 <> t.bin_bits || Bitvec.length b2 <> t.bin_bits then
+    invalid_arg "Binning.xor_bins: bin length mismatch";
+  Bitvec.xor b1 b2
+
+let decode t ~bin_index ~side_info =
+  if Array.length side_info <> t.message_bits then
+    invalid_arg "Binning.decode: side information length mismatch";
+  if Bitvec.length bin_index <> t.bin_bits then
+    invalid_arg "Binning.decode: bin index length mismatch";
+  let erased =
+    Array.to_list side_info
+    |> List.mapi (fun i s -> (i, s))
+    |> List.filter_map (fun (i, s) -> if s = None then Some i else None)
+  in
+  (* residual = bin_index xor H w_known (erased bits treated as zero) *)
+  let known = Bitvec.create t.message_bits in
+  Array.iteri
+    (fun i s -> match s with Some true -> Bitvec.set known i true | _ -> ())
+    side_info;
+  let residual = Bitvec.xor bin_index (Gf2_matrix.mul_vec t.hash known) in
+  match erased with
+  | [] -> if Bitvec.weight residual = 0 then Some (Bitvec.copy known) else None
+  | _ ->
+    let ncols = List.length erased in
+    if ncols > t.bin_bits then None
+    else begin
+      (* solve H_e x = residual over the erased columns *)
+      let sub =
+        Gf2_matrix.init ~rows:t.bin_bits ~cols:ncols (fun r c ->
+            Gf2_matrix.get t.hash r (List.nth erased c))
+      in
+      if Gf2_matrix.rank sub < ncols then None
+      else begin
+        match Gf2_matrix.solve sub residual with
+        | None -> None
+        | Some x ->
+          (* a solution may exist yet not reproduce the residual when the
+             system is over-determined and inconsistent — verify *)
+          if not (Bitvec.equal (Gf2_matrix.mul_vec sub x) residual) then None
+          else begin
+            let w = Bitvec.copy known in
+            List.iteri (fun c i -> Bitvec.set w i (Bitvec.get x c)) erased;
+            Some w
+          end
+      end
+    end

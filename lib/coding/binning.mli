@@ -1,0 +1,41 @@
+(** Linear binning — the Slepian–Wolf/TDBC relay operation, made
+    operational.
+
+    In the paper's TDBC protocol the relay does not retransmit the
+    messages: it broadcasts the XOR of {e bin indices}
+    [s_a(w_a) xor s_b(w_b)], each bin index far shorter than the
+    message, and each terminal recovers the opposite message by
+    combining the bin index with the side information it overheard
+    directly. With {e linear} binning the bin of a message [w] is
+    [H w] for a random full-rank GF(2) matrix [H], and decoding against
+    erasure side information (the receiver knows most bits of [w],
+    having overheard the direct transmission) is exact linear algebra:
+    the bin index pins down the erased bits whenever the erased columns
+    of [H] are linearly independent — which holds with high probability
+    once the bin is a little longer than the number of erasures. *)
+
+type t
+(** A binning scheme: a [bin_bits] x [message_bits] GF(2) hash. *)
+
+val create : Prob.Rng.t -> message_bits:int -> bin_bits:int -> t
+(** Random full-row-rank hash; requires
+    [0 < bin_bits <= message_bits]. *)
+
+val message_bits : t -> int
+val bin_bits : t -> int
+
+val bin : t -> Bitvec.t -> Bitvec.t
+(** [bin t w] is the [bin_bits]-long index of [w]'s bin. *)
+
+val decode : t -> bin_index:Bitvec.t -> side_info:bool option array ->
+  Bitvec.t option
+(** [decode t ~bin_index ~side_info] reconstructs the unique message
+    consistent with the bin index and the per-bit side information
+    ([Some b] = bit known to be [b], [None] = erased). Returns [None]
+    when the erased positions are not resolvable (more erasures than
+    bin bits, dependent columns, or inconsistent side information). *)
+
+val xor_bins : t -> Bitvec.t -> Bitvec.t -> Bitvec.t
+(** The relay's combine: by linearity
+    [xor_bins t (bin wa) (bin wb) = bin (wa xor wb)] — so each terminal
+    can subtract its own message's bin before decoding. *)

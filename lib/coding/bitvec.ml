@@ -1,0 +1,121 @@
+type t = { len : int; data : Bytes.t }
+
+let bytes_needed len = (len + 7) / 8
+
+let create len =
+  if len < 0 then invalid_arg "Bitvec.create: negative length";
+  { len; data = Bytes.make (bytes_needed len) '\000' }
+
+let length t = t.len
+
+let check_index t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitvec: index out of bounds"
+
+let get t i =
+  check_index t i;
+  let byte = Char.code (Bytes.get t.data (i / 8)) in
+  byte land (1 lsl (i mod 8)) <> 0
+
+let set t i v =
+  check_index t i;
+  let pos = i / 8 in
+  let byte = Char.code (Bytes.get t.data pos) in
+  let mask = 1 lsl (i mod 8) in
+  let byte = if v then byte lor mask else byte land lnot mask in
+  Bytes.set t.data pos (Char.chr (byte land 0xFF))
+
+let copy t = { len = t.len; data = Bytes.copy t.data }
+
+let equal a b = a.len = b.len && Bytes.equal a.data b.data
+
+let xor_into ~dst src =
+  if dst.len <> src.len then invalid_arg "Bitvec.xor_into: length mismatch";
+  for i = 0 to Bytes.length dst.data - 1 do
+    Bytes.set dst.data i
+      (Char.chr
+         (Char.code (Bytes.get dst.data i)
+          lxor Char.code (Bytes.get src.data i)))
+  done
+
+let xor a b =
+  let r = copy a in
+  xor_into ~dst:r b;
+  r
+
+let popcount_byte = Array.init 256 (fun b ->
+    let rec count b acc = if b = 0 then acc else count (b lsr 1) (acc + (b land 1)) in
+    count b 0)
+
+let weight t =
+  let acc = ref 0 in
+  for i = 0 to Bytes.length t.data - 1 do
+    acc := !acc + popcount_byte.(Char.code (Bytes.get t.data i))
+  done;
+  !acc
+
+let hamming_distance a b = weight (xor a b)
+
+let random rng len =
+  let t = create len in
+  for i = 0 to len - 1 do
+    set t i (Prob.Rng.bool rng)
+  done;
+  t
+
+let of_string s =
+  let t = create (String.length s) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '0' -> ()
+      | '1' -> set t i true
+      | _ -> invalid_arg "Bitvec.of_string: expected only '0' and '1'")
+    s;
+  t
+
+let to_string t = String.init t.len (fun i -> if get t i then '1' else '0')
+
+let of_bool_array a =
+  let t = create (Array.length a) in
+  Array.iteri (fun i v -> if v then set t i true) a;
+  t
+
+let to_bool_array t = Array.init t.len (get t)
+
+let of_int ~width n =
+  if n < 0 then invalid_arg "Bitvec.of_int: negative";
+  if width < 0 || width > 62 then invalid_arg "Bitvec.of_int: bad width";
+  let t = create width in
+  for i = 0 to width - 1 do
+    if (n lsr i) land 1 = 1 then set t i true
+  done;
+  t
+
+let to_int t =
+  if t.len > 62 then invalid_arg "Bitvec.to_int: too wide";
+  let acc = ref 0 in
+  for i = t.len - 1 downto 0 do
+    acc := (!acc lsl 1) lor (if get t i then 1 else 0)
+  done;
+  !acc
+
+let append a b =
+  let t = create (a.len + b.len) in
+  for i = 0 to a.len - 1 do
+    set t i (get a i)
+  done;
+  for i = 0 to b.len - 1 do
+    set t (a.len + i) (get b i)
+  done;
+  t
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then
+    invalid_arg "Bitvec.sub: out of bounds";
+  let r = create len in
+  for i = 0 to len - 1 do
+    set r i (get t (pos + i))
+  done;
+  r
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,47 @@
+(** Fixed-length bit vectors over GF(2), packed into bytes. *)
+
+type t
+
+val create : int -> t
+(** All-zero vector of the given length; length 0 is allowed. *)
+
+val length : t -> int
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+
+val copy : t -> t
+val equal : t -> t -> bool
+
+val xor : t -> t -> t
+(** Componentwise GF(2) addition; lengths must agree. This is the
+    relay's network-coding combine: [w_r = w_a xor w_b]. *)
+
+val xor_into : dst:t -> t -> unit
+(** In-place xor of the second argument into [dst]. *)
+
+val weight : t -> int
+(** Hamming weight. *)
+
+val hamming_distance : t -> t -> int
+
+val random : Prob.Rng.t -> int -> t
+(** Uniformly random vector of the given length. *)
+
+val of_string : string -> t
+(** ["0110"]-style literals; raises [Invalid_argument] on other chars. *)
+
+val to_string : t -> string
+
+val of_bool_array : bool array -> t
+val to_bool_array : t -> bool array
+
+val of_int : width:int -> int -> t
+(** Little-endian binary expansion of a non-negative integer. *)
+
+val to_int : t -> int
+(** Inverse of {!of_int}; requires length <= 62. *)
+
+val append : t -> t -> t
+val sub : t -> pos:int -> len:int -> t
+
+val pp : Format.formatter -> t -> unit

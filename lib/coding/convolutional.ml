@@ -1,0 +1,127 @@
+type t = {
+  k : int;                 (* constraint length *)
+  generators : int array;  (* one k-bit mask per output stream *)
+  n : int;                 (* streams per input bit *)
+}
+
+let popcount =
+  let rec count v acc = if v = 0 then acc else count (v lsr 1) (acc + (v land 1)) in
+  fun v -> count v 0
+
+let create ~constraint_length ~generators =
+  let k = constraint_length in
+  if k < 2 || k > 16 then
+    invalid_arg "Convolutional.create: constraint length outside [2, 16]";
+  if generators = [] then invalid_arg "Convolutional.create: no generators";
+  List.iter
+    (fun g ->
+      if g <= 0 || g >= 1 lsl k then
+        invalid_arg "Convolutional.create: generator mask out of range")
+    generators;
+  { k; generators = Array.of_list generators; n = List.length generators }
+
+let k3_rate_half () = create ~constraint_length:3 ~generators:[ 0o7; 0o5 ]
+let k7_rate_half () = create ~constraint_length:7 ~generators:[ 0o171; 0o133 ]
+
+let constraint_length t = t.k
+let num_streams t = t.n
+
+let rate t ~message_bits =
+  if message_bits <= 0 then invalid_arg "Convolutional.rate: empty message";
+  float_of_int message_bits
+  /. float_of_int ((message_bits + t.k - 1) * t.n)
+
+(* The encoder register holds the last k bits, newest in the MSB of the
+   k-bit window: register = (newest ... oldest). Shifting in bit b:
+   register' = (b << (k-1)) | (register >> 1). Output stream j is the
+   parity of register' AND generator j. *)
+let step t register bit =
+  let register = ((if bit then 1 lsl (t.k - 1) else 0) lor (register lsr 1)) in
+  let outputs =
+    Array.map (fun g -> popcount (register land g) land 1 = 1) t.generators
+  in
+  (register, outputs)
+
+let encode t msg =
+  let len = Bitvec.length msg in
+  let total = (len + t.k - 1) * t.n in
+  let out = Bitvec.create total in
+  let pos = ref 0 in
+  let register = ref 0 in
+  let feed bit =
+    let register', outputs = step t !register bit in
+    register := register';
+    Array.iter
+      (fun b ->
+        if b then Bitvec.set out !pos true;
+        incr pos)
+      outputs
+  in
+  for i = 0 to len - 1 do
+    feed (Bitvec.get msg i)
+  done;
+  for _ = 1 to t.k - 1 do
+    feed false
+  done;
+  out
+
+let decode t received =
+  let n = t.n in
+  let total = Bitvec.length received in
+  if total mod n <> 0 then
+    invalid_arg "Convolutional.decode: length not a multiple of the streams";
+  let steps = total / n in
+  let tail = t.k - 1 in
+  if steps < tail then invalid_arg "Convolutional.decode: shorter than the tail";
+  let msg_len = steps - tail in
+  let num_states = 1 lsl (t.k - 1) in
+  (* path metrics: the register's low k-1 bits identify the state *)
+  let inf = max_int / 2 in
+  let metric = Array.make num_states inf in
+  metric.(0) <- 0;
+  (* predecessors.(step).(state) = (previous state, input bit) *)
+  let predecessors =
+    Array.init steps (fun _ -> Array.make num_states (-1, false))
+  in
+  let branch_cost register' received_at =
+    (* Hamming distance between this transition's outputs and the
+       received symbols for the step *)
+    let cost = ref 0 in
+    Array.iteri
+      (fun j g ->
+        let bit = popcount (register' land g) land 1 = 1 in
+        if bit <> Bitvec.get received (received_at + j) then incr cost)
+      t.generators;
+    !cost
+  in
+  for s = 0 to steps - 1 do
+    let next = Array.make num_states inf in
+    let received_at = s * n in
+    for state = 0 to num_states - 1 do
+      if metric.(state) < inf then
+        List.iter
+          (fun bit ->
+            (* the full register after shifting [bit] into [state] *)
+            let register' =
+              (if bit then 1 lsl (t.k - 1) else 0) lor state
+            in
+            let state' = register' lsr 1 in
+            let cost = metric.(state) + branch_cost register' received_at in
+            if cost < next.(state') then begin
+              next.(state') <- cost;
+              predecessors.(s).(state') <- (state, bit)
+            end)
+          (if s < msg_len then [ false; true ] else [ false ])
+    done;
+    Array.blit next 0 metric 0 num_states
+  done;
+  (* terminated trellis: trace back from the zero state *)
+  let msg = Bitvec.create msg_len in
+  let state = ref 0 in
+  for s = steps - 1 downto 0 do
+    let prev, bit = predecessors.(s).(!state) in
+    if prev < 0 then invalid_arg "Convolutional.decode: broken trellis";
+    if s < msg_len && bit then Bitvec.set msg s true;
+    state := prev
+  done;
+  msg

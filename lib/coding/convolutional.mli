@@ -1,0 +1,41 @@
+(** Binary convolutional codes with Viterbi (maximum-likelihood)
+    decoding over hard-decision channels.
+
+    A code is defined by its generator polynomials (one per output
+    stream) given as bitmasks over the encoder memory; the encoder is
+    feed-forward, non-systematic, and terminated by flushing
+    [constraint_length - 1] zero bits, so every codeword returns the
+    trellis to the zero state. *)
+
+type t
+
+val create : constraint_length:int -> generators:int list -> t
+(** [create ~constraint_length:k ~generators] builds a rate [1/n] code
+    with [n = length generators]. Each generator is a [k]-bit mask, MSB
+    aligned with the newest input bit (e.g. the classic K=3 rate-1/2
+    code is [create ~constraint_length:3 ~generators:[0o7; 0o5]]).
+    Raises [Invalid_argument] for empty generators, masks wider than
+    [k] bits, or [k] outside [2, 16]. *)
+
+val k3_rate_half : unit -> t
+(** The (7,5) octal, K = 3, rate-1/2 standard code (free distance 5). *)
+
+val k7_rate_half : unit -> t
+(** The (171,133) octal, K = 7, rate-1/2 Voyager/802.11 code
+    (free distance 10). *)
+
+val constraint_length : t -> int
+val num_streams : t -> int
+
+val rate : t -> message_bits:int -> float
+(** Effective rate including the termination tail:
+    [message_bits / ((message_bits + k - 1) * n)]. *)
+
+val encode : t -> Bitvec.t -> Bitvec.t
+(** Terminated encoding: output length [(len + k - 1) * n]. *)
+
+val decode : t -> Bitvec.t -> Bitvec.t
+(** Hard-decision Viterbi decoding (minimum Hamming distance over the
+    terminated trellis). Input length must be a multiple of [n] and
+    correspond to at least the tail; returns the message bits (tail
+    stripped). Raises [Invalid_argument] on impossible lengths. *)

@@ -1,0 +1,31 @@
+let crc16 bits =
+  let crc = ref 0xFFFF in
+  for i = 0 to Bitvec.length bits - 1 do
+    let bit = if Bitvec.get bits i then 1 else 0 in
+    let top = (!crc lsr 15) land 1 in
+    crc := ((!crc lsl 1) land 0xFFFF) lor 0;
+    if top lxor bit = 1 then crc := !crc lxor 0x1021
+  done;
+  !crc
+
+let crc32 bits =
+  let crc = ref 0xFFFFFFFFl in
+  for i = 0 to Bitvec.length bits - 1 do
+    let bit = if Bitvec.get bits i then 1l else 0l in
+    let low = Int32.logand (Int32.logxor !crc bit) 1l in
+    crc := Int32.shift_right_logical !crc 1;
+    if low = 1l then crc := Int32.logxor !crc 0xEDB88320l
+  done;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let append_crc16 payload =
+  Bitvec.append payload (Bitvec.of_int ~width:16 (crc16 payload))
+
+let check_crc16 packet =
+  let len = Bitvec.length packet in
+  if len < 16 then None
+  else begin
+    let payload = Bitvec.sub packet ~pos:0 ~len:(len - 16) in
+    let tag = Bitvec.to_int (Bitvec.sub packet ~pos:(len - 16) ~len:16) in
+    if crc16 payload = tag then Some payload else None
+  end

@@ -1,0 +1,162 @@
+type t = { r : int; c : int; rows : Bitvec.t array }
+
+let create ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Gf2_matrix.create: negative size";
+  { r = rows; c = cols; rows = Array.init rows (fun _ -> Bitvec.create cols) }
+
+let init ~rows ~cols f =
+  let m = create ~rows ~cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if f i j then Bitvec.set m.rows.(i) j true
+    done
+  done;
+  m
+
+let identity n = init ~rows:n ~cols:n (fun i j -> i = j)
+
+let random rng ~rows ~cols =
+  { r = rows; c = cols; rows = Array.init rows (fun _ -> Bitvec.random rng cols) }
+
+let rows m = m.r
+let cols m = m.c
+let get m i j = Bitvec.get m.rows.(i) j
+let set m i j v = Bitvec.set m.rows.(i) j v
+
+let copy m = { m with rows = Array.map Bitvec.copy m.rows }
+
+let equal a b =
+  a.r = b.r && a.c = b.c
+  && Array.for_all2 (fun x y -> Bitvec.equal x y) a.rows b.rows
+
+let row m i = Bitvec.copy m.rows.(i)
+
+let mul_vec m v =
+  if Bitvec.length v <> m.c then invalid_arg "Gf2_matrix.mul_vec: size mismatch";
+  let out = Bitvec.create m.r in
+  for i = 0 to m.r - 1 do
+    (* parity of the AND of row i with v *)
+    let acc = ref false in
+    for j = 0 to m.c - 1 do
+      if Bitvec.get m.rows.(i) j && Bitvec.get v j then acc := not !acc
+    done;
+    if !acc then Bitvec.set out i true
+  done;
+  out
+
+let mul a b =
+  if a.c <> b.r then invalid_arg "Gf2_matrix.mul: size mismatch";
+  init ~rows:a.r ~cols:b.c (fun i j ->
+      let acc = ref false in
+      for k = 0 to a.c - 1 do
+        if Bitvec.get a.rows.(i) k && Bitvec.get b.rows.(k) j then
+          acc := not !acc
+      done;
+      !acc)
+
+let transpose m = init ~rows:m.c ~cols:m.r (fun i j -> get m j i)
+
+(* Row-reduce [m] in place (it must be a private copy); returns the list
+   of pivot columns in order. When [aug] is given it receives the same
+   row operations (used for inversion / solving). *)
+let row_reduce m aug =
+  let pivots = ref [] in
+  let next_row = ref 0 in
+  for col = 0 to m.c - 1 do
+    if !next_row < m.r then begin
+      (* find a row at or below next_row with a 1 in this column *)
+      let pivot = ref (-1) in
+      (try
+         for i = !next_row to m.r - 1 do
+           if Bitvec.get m.rows.(i) col then begin
+             pivot := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !pivot >= 0 then begin
+        let p = !pivot in
+        if p <> !next_row then begin
+          let t = m.rows.(p) in
+          m.rows.(p) <- m.rows.(!next_row);
+          m.rows.(!next_row) <- t;
+          match aug with
+          | None -> ()
+          | Some a ->
+            let t = a.rows.(p) in
+            a.rows.(p) <- a.rows.(!next_row);
+            a.rows.(!next_row) <- t
+        end;
+        for i = 0 to m.r - 1 do
+          if i <> !next_row && Bitvec.get m.rows.(i) col then begin
+            Bitvec.xor_into ~dst:m.rows.(i) m.rows.(!next_row);
+            match aug with
+            | None -> ()
+            | Some a -> Bitvec.xor_into ~dst:a.rows.(i) a.rows.(!next_row)
+          end
+        done;
+        pivots := (col, !next_row) :: !pivots;
+        incr next_row
+      end
+    end
+  done;
+  List.rev !pivots
+
+let rank m =
+  let m = copy m in
+  List.length (row_reduce m None)
+
+let inverse m =
+  if m.r <> m.c then invalid_arg "Gf2_matrix.inverse: non-square";
+  let work = copy m in
+  let aug = identity m.r in
+  let pivots = row_reduce work (Some aug) in
+  if List.length pivots = m.r then Some aug else None
+
+let solve m b =
+  if Bitvec.length b <> m.r then invalid_arg "Gf2_matrix.solve: size mismatch";
+  let work = copy m in
+  (* carry b along as a 1-column augmentation *)
+  let aug =
+    { r = m.r;
+      c = 1;
+      rows = Array.init m.r (fun i ->
+          let v = Bitvec.create 1 in
+          if Bitvec.get b i then Bitvec.set v 0 true;
+          v);
+    }
+  in
+  let pivots = row_reduce work (Some aug) in
+  (* inconsistent iff some zero row of [work] has a non-zero rhs *)
+  let pivot_rows = List.map snd pivots in
+  let inconsistent = ref false in
+  for i = 0 to m.r - 1 do
+    if (not (List.mem i pivot_rows)) && Bitvec.get aug.rows.(i) 0 then
+      inconsistent := true
+  done;
+  if !inconsistent then None
+  else begin
+    let x = Bitvec.create m.c in
+    List.iter
+      (fun (col, row) -> if Bitvec.get aug.rows.(row) 0 then Bitvec.set x col true)
+      pivots;
+    Some x
+  end
+
+let random_full_rank rng ~rows ~cols =
+  if rows > cols then invalid_arg "Gf2_matrix.random_full_rank: rows > cols";
+  let rec try_once () =
+    let m = random rng ~rows ~cols in
+    if rank m = rows then m else try_once ()
+  in
+  try_once ()
+
+let augment a b =
+  if a.r <> b.r then invalid_arg "Gf2_matrix.augment: row mismatch";
+  init ~rows:a.r ~cols:(a.c + b.c) (fun i j ->
+      if j < a.c then get a i j else get b i (j - a.c))
+
+let pp fmt m =
+  for i = 0 to m.r - 1 do
+    Format.fprintf fmt "%a@\n" Bitvec.pp m.rows.(i)
+  done

@@ -1,0 +1,47 @@
+(** Dense matrices over GF(2), stored as an array of {!Bitvec} rows. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Zero matrix. *)
+
+val init : rows:int -> cols:int -> (int -> int -> bool) -> t
+val identity : int -> t
+val random : Prob.Rng.t -> rows:int -> cols:int -> t
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> bool
+val set : t -> int -> int -> bool -> unit
+val copy : t -> t
+val equal : t -> t -> bool
+
+val row : t -> int -> Bitvec.t
+(** Returns a copy of the row. *)
+
+val mul_vec : t -> Bitvec.t -> Bitvec.t
+(** [mul_vec m v] is [m v] over GF(2); [length v = cols m]. *)
+
+val mul : t -> t -> t
+
+val transpose : t -> t
+
+val rank : t -> int
+(** Rank over GF(2) via Gaussian elimination. *)
+
+val inverse : t -> t option
+(** Inverse of a square matrix, when it exists. *)
+
+val solve : t -> Bitvec.t -> Bitvec.t option
+(** [solve m b] finds some [x] with [m x = b] over GF(2), or [None] if
+    the system is inconsistent. *)
+
+val random_full_rank : Prob.Rng.t -> rows:int -> cols:int -> t
+(** Random matrix of full row rank ([rows <= cols] required); rejection
+    sampling, which terminates quickly since random GF(2) matrices are
+    full rank with probability > 0.288. *)
+
+val augment : t -> t -> t
+(** Horizontal concatenation [A | B]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+type t = { g : Gf2_matrix.t; k : int; n : int }
+
+let create g =
+  let k = Gf2_matrix.rows g and n = Gf2_matrix.cols g in
+  if k > n then invalid_arg "Linear_code.create: k > n";
+  if Gf2_matrix.rank g <> k then
+    invalid_arg "Linear_code.create: generator is rank deficient";
+  { g; k; n }
+
+let random rng ~k ~n = create (Gf2_matrix.random_full_rank rng ~rows:k ~cols:n)
+
+let systematic_random rng ~k ~n =
+  if k > n then invalid_arg "Linear_code.systematic_random: k > n";
+  let parity = Gf2_matrix.random rng ~rows:k ~cols:(n - k) in
+  create (Gf2_matrix.augment (Gf2_matrix.identity k) parity)
+
+let hamming_7_4 () =
+  (* systematic generator of the (7,4) Hamming code *)
+  let rows =
+    [| "1000110"; "0100101"; "0010011"; "0001111" |]
+  in
+  create
+    (Gf2_matrix.init ~rows:4 ~cols:7 (fun i j -> rows.(i).[j] = '1'))
+
+let repetition n =
+  if n < 1 then invalid_arg "Linear_code.repetition: n < 1";
+  create (Gf2_matrix.init ~rows:1 ~cols:n (fun _ _ -> true))
+
+let k t = t.k
+let n t = t.n
+let rate t = float_of_int t.k /. float_of_int t.n
+
+let encode t msg =
+  if Bitvec.length msg <> t.k then
+    invalid_arg "Linear_code.encode: message length mismatch";
+  (* codeword = msg . G, i.e. G^T msg *)
+  Gf2_matrix.mul_vec (Gf2_matrix.transpose t.g) msg
+
+let all_messages t f =
+  if t.k > 20 then invalid_arg "Linear_code: k too large for exhaustive scan";
+  for m = 0 to (1 lsl t.k) - 1 do
+    f (Bitvec.of_int ~width:t.k m)
+  done
+
+let decode_nearest t received =
+  if Bitvec.length received <> t.n then
+    invalid_arg "Linear_code.decode_nearest: length mismatch";
+  let best = ref (Bitvec.create t.k) and best_d = ref max_int in
+  all_messages t (fun msg ->
+      let d = Bitvec.hamming_distance (encode t msg) received in
+      if d < !best_d then begin
+        best := msg;
+        best_d := d
+      end);
+  !best
+
+let decode_exact t received =
+  if Bitvec.length received <> t.n then
+    invalid_arg "Linear_code.decode_exact: length mismatch";
+  (* solve G^T x = received *)
+  match Gf2_matrix.solve (Gf2_matrix.transpose t.g) received with
+  | None -> None
+  | Some x ->
+    if Bitvec.equal (encode t x) received then Some x else None
+
+let min_distance t =
+  let best = ref max_int in
+  all_messages t (fun msg ->
+      let w = Bitvec.weight (encode t msg) in
+      if w > 0 && w < !best then best := w);
+  !best

@@ -1,0 +1,43 @@
+(** Binary linear block codes with generator-matrix encoding and
+    (for small codes) exact syndrome or nearest-codeword decoding.
+
+    These are the "random coding" stand-in for the paper's achievability
+    arguments: the simulator uses them to move actual bits a -> r -> b
+    and to demonstrate the XOR-relaying pipeline end to end. *)
+
+type t
+
+val create : Gf2_matrix.t -> t
+(** [create g] builds a code from a full-row-rank k x n generator matrix.
+    Raises [Invalid_argument] when [g] is rank deficient. *)
+
+val random : Prob.Rng.t -> k:int -> n:int -> t
+(** Random linear code with a full-rank generator; [k <= n]. *)
+
+val systematic_random : Prob.Rng.t -> k:int -> n:int -> t
+(** Generator of the form [I | P] with random parity part. *)
+
+val hamming_7_4 : unit -> t
+(** The [7,4] Hamming code (distance 3). *)
+
+val repetition : int -> t
+(** The [n,1] repetition code. *)
+
+val k : t -> int
+val n : t -> int
+val rate : t -> float
+
+val encode : t -> Bitvec.t -> Bitvec.t
+(** [encode c msg] for a k-bit message gives the n-bit codeword. *)
+
+val decode_nearest : t -> Bitvec.t -> Bitvec.t
+(** Maximum-likelihood (minimum-distance) decoding by exhaustive search
+    over the [2^k] codewords; intended for small [k] (<= 16). Returns the
+    decoded k-bit message. *)
+
+val decode_exact : t -> Bitvec.t -> Bitvec.t option
+(** Inverts the encoder when the received word is an exact codeword;
+    [None] otherwise. *)
+
+val min_distance : t -> int
+(** Exhaustive minimum distance (small codes only). *)

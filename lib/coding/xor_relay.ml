@@ -1,0 +1,19 @@
+let pad v len =
+  if Bitvec.length v = len then Bitvec.copy v
+  else Bitvec.append v (Bitvec.create (len - Bitvec.length v))
+
+let combine wa wb =
+  let len = max (Bitvec.length wa) (Bitvec.length wb) in
+  Bitvec.xor (pad wa len) (pad wb len)
+
+let recover ~own ~relay =
+  let len = Bitvec.length relay in
+  if Bitvec.length own > len then
+    invalid_arg "Xor_relay.recover: own message longer than relay word";
+  Bitvec.xor (pad own len) relay
+
+let recover_exact ~own ~relay ~expected_len =
+  let full = recover ~own ~relay in
+  if expected_len > Bitvec.length full then
+    invalid_arg "Xor_relay.recover_exact: expected length too large";
+  Bitvec.sub full ~pos:0 ~len:expected_len

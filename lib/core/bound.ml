@@ -1,0 +1,71 @@
+type kind = Inner | Outer
+
+type term = { ca : float; cb : float; per_phase : float array; label : string }
+
+type t = {
+  protocol : Protocol.t;
+  bound_kind : kind;
+  num_phases : int;
+  terms : term list;
+}
+
+let kind_name = function Inner -> "inner" | Outer -> "outer"
+
+let term ?(label = "") ~ca ~cb per_phase = { ca; cb; per_phase; label }
+
+let make ~protocol ~bound_kind ~num_phases ~terms =
+  List.iter
+    (fun t ->
+      if Array.length t.per_phase <> num_phases then
+        invalid_arg "Bound.make: per-phase coefficient arity mismatch";
+      if t.ca < 0. || t.cb < 0. || t.ca +. t.cb <= 0. then
+        invalid_arg "Bound.make: bad rate coefficients";
+      Array.iter
+        (fun c ->
+          if c < 0. || Float.is_nan c then
+            invalid_arg "Bound.make: negative phase coefficient")
+        t.per_phase)
+    terms;
+  { protocol; bound_kind; num_phases; terms }
+
+let rate_budget t ~deltas term =
+  if Array.length deltas <> t.num_phases then
+    invalid_arg "Bound.rate_budget: duration arity mismatch";
+  let acc = ref 0. in
+  Array.iteri (fun l d -> acc := !acc +. (d *. term.per_phase.(l))) deltas;
+  !acc
+
+let satisfied t ~deltas ~ra ~rb =
+  let total = Numerics.Float_utils.sum deltas in
+  if not (Numerics.Float_utils.approx_equal ~eps:1e-6 total 1.) then
+    invalid_arg "Bound.satisfied: durations must sum to 1";
+  Array.iter
+    (fun d -> if d < -1e-12 then invalid_arg "Bound.satisfied: negative duration")
+    deltas;
+  ra >= -1e-12 && rb >= -1e-12
+  && List.for_all
+       (fun term ->
+         (term.ca *. ra) +. (term.cb *. rb)
+         <= rate_budget t ~deltas term +. 1e-9)
+       t.terms
+
+let pp fmt t =
+  Format.fprintf fmt "%s %s bound (%d phases):@\n" (Protocol.name t.protocol)
+    (kind_name t.bound_kind) t.num_phases;
+  List.iter
+    (fun term ->
+      let lhs =
+        match (term.ca > 0., term.cb > 0.) with
+        | true, true -> "Ra + Rb"
+        | true, false -> "Ra"
+        | false, true -> "Rb"
+        | false, false -> "0"
+      in
+      Format.fprintf fmt "  %s <=" lhs;
+      Array.iteri
+        (fun l c ->
+          if c > 0. then Format.fprintf fmt " + %.4f d%d" c (l + 1))
+        term.per_phase;
+      if term.label <> "" then Format.fprintf fmt "   (%s)" term.label;
+      Format.fprintf fmt "@\n")
+    t.terms

@@ -1,0 +1,51 @@
+(** Symbolic rate-bound systems.
+
+    For a fixed input distribution (the Gaussian evaluation takes
+    [|Q| = 1] as in the paper), every bound in Theorems 2–6 has the form
+
+    {[ ca * Ra + cb * Rb <= sum_l per_phase.(l) * Delta_l ]}
+
+    with non-negative coefficients: mutual-information terms scale
+    linearly with the phase durations. A bound system is such a list of
+    constraints together with the simplex [sum Delta = 1, Delta >= 0];
+    the achievable region it induces in the [(Ra, Rb)] plane — after
+    projecting out the phase durations — is a convex polytope, which is
+    why the whole evaluation reduces to small linear programs. *)
+
+type kind = Inner | Outer
+(** [Inner]: an achievable region (Theorems 2, 3, 5).
+    [Outer]: a converse bound (Theorems 2, 4, 6). For MABC the two
+    coincide — Theorem 2 is the capacity region. *)
+
+type term = {
+  ca : float;                (** coefficient of Ra (0 or 1 here) *)
+  cb : float;                (** coefficient of Rb *)
+  per_phase : float array;   (** bits/use contributed by each phase *)
+  label : string;            (** which cut / decoding step this encodes *)
+}
+
+type t = {
+  protocol : Protocol.t;
+  bound_kind : kind;
+  num_phases : int;
+  terms : term list;
+}
+
+val kind_name : kind -> string
+
+val make : protocol:Protocol.t -> bound_kind:kind -> num_phases:int ->
+  terms:term list -> t
+(** Validates that every term has [num_phases] coefficients, all
+    non-negative, and [ca, cb >= 0] with [ca +. cb > 0]. *)
+
+val term : ?label:string -> ca:float -> cb:float -> float array -> term
+
+val rate_budget : t -> deltas:float array -> term -> float
+(** [rate_budget t ~deltas term] is the right-hand side
+    [sum_l per_phase.(l) * deltas.(l)]. *)
+
+val satisfied : t -> deltas:float array -> ra:float -> rb:float -> bool
+(** Checks all constraints at the given durations and rate pair
+    (with a 1e-9 slack). [deltas] must sum to 1 within 1e-6. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+let bounds (s : Gaussian.scenario) =
+  let r = Gaussian.link_rates s in
+  let ra = Bound.term ~ca:1. ~cb:0. in
+  let rb = Bound.term ~ca:0. ~cb:1. in
+  let rsum = Bound.term ~ca:1. ~cb:1. in
+  Bound.make ~protocol:Protocol.Mabc ~bound_kind:Bound.Inner ~num_phases:1
+    ~terms:
+      [ ra ~label:"FD: a->r MAC" [| r.Gaussian.c_ar |];
+        ra ~label:"FD: r->b broadcast" [| r.Gaussian.c_br |];
+        rb ~label:"FD: b->r MAC" [| r.Gaussian.c_br |];
+        rb ~label:"FD: r->a broadcast" [| r.Gaussian.c_ar |];
+        rsum ~label:"FD: relay decodes both" [| r.Gaussian.c_mac |];
+      ]
+
+let sum_rate s = Rate_region.sum (Rate_region.max_sum_rate (bounds s))
+
+let penalty_table ?(powers_db = [ 0.; 5.; 10.; 15. ])
+    ?(gains = Channel.Gains.paper_fig4) () =
+  let rows =
+    List.map
+      (fun power_db ->
+        let s = Gaussian.scenario ~power_db ~gains in
+        let fd = sum_rate s in
+        let best_hd = Optimize.best_protocol Bound.Inner s in
+        [ Printf.sprintf "%g" power_db;
+          Printf.sprintf "%.4f" fd;
+          Printf.sprintf "%s (%.4f)"
+            (Protocol.name best_hd.Optimize.protocol)
+            best_hd.Optimize.sum_rate;
+          Printf.sprintf "%.1f%%"
+            (100. *. (1. -. (best_hd.Optimize.sum_rate /. Float.max fd 1e-12)));
+        ])
+      powers_db
+  in
+  { Figures.table_id = "fd-penalty";
+    table_title =
+      "Half-duplex penalty: full-duplex DF (Rankov-Wittneben) vs the best \
+       half-duplex protocol";
+    headers = [ "P (dB)"; "full duplex"; "best half duplex"; "penalty" ];
+    rows;
+  }

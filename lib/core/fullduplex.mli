@@ -1,0 +1,29 @@
+(** The full-duplex decode-and-forward reference point.
+
+    The paper's protocols exist because of the half-duplex constraint; it
+    cites Rankov–Wittneben (ISIT 2006, reference [9]) for the achievable
+    region when all nodes are full duplex. There the relay receives the
+    two-user MAC while simultaneously broadcasting the network-coded
+    message, so there is no time splitting at all and the region is
+
+    {[ Ra <= min (C (P G_ar), C (P G_br))
+       Rb <= min (C (P G_br), C (P G_ar))
+       Ra + Rb <= C (P G_ar + P G_br)      (relay decodes both) ]}
+
+    (idealised: perfect self-interference cancellation, decode-and-
+    forward, direct link ignored as in [9]'s DF scheme). Comparing it to
+    the half-duplex protocols isolates what the half-duplex constraint
+    costs. *)
+
+val bounds : Gaussian.scenario -> Bound.t
+(** A single-"phase" bound system ([Delta_1 = 1]). The [Bound.t] is
+    tagged with {!Protocol.Mabc} (its full-duplex analogue) purely for
+    bookkeeping — do not feed it to the simulators, whose schedules are
+    per-protocol. *)
+
+val sum_rate : Gaussian.scenario -> float
+
+val penalty_table :
+  ?powers_db:float list -> ?gains:Channel.Gains.t -> unit -> Figures.table
+(** Half-duplex penalty: full-duplex DF sum rate versus the best
+    half-duplex protocol, per power. *)

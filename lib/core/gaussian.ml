@@ -1,0 +1,55 @@
+type scenario = { power : float; gains : Channel.Gains.t }
+
+let scenario ~power_db ~gains =
+  { power = Numerics.Float_utils.db_to_lin power_db; gains }
+
+let scenario_lin ~power ~gains =
+  if power < 0. then invalid_arg "Gaussian.scenario_lin: negative power";
+  { power; gains }
+
+type link_rates = {
+  c_ab : float;
+  c_ar : float;
+  c_br : float;
+  c_mac : float;
+  c_a_rb : float;
+  c_b_ra : float;
+}
+
+let link_rates s =
+  let p = s.power in
+  let g = s.gains in
+  let c = Channel.Awgn.c in
+  { c_ab = c (p *. g.Channel.Gains.g_ab);
+    c_ar = c (p *. g.Channel.Gains.g_ar);
+    c_br = c (p *. g.Channel.Gains.g_br);
+    c_mac = c (p *. (g.Channel.Gains.g_ar +. g.Channel.Gains.g_br));
+    c_a_rb = c (p *. (g.Channel.Gains.g_ar +. g.Channel.Gains.g_ab));
+    c_b_ra = c (p *. (g.Channel.Gains.g_br +. g.Channel.Gains.g_ab));
+  }
+
+(* With Gaussian inputs and reciprocal gains the relay broadcast is heard
+   at rate C(P G_ar) by a and C(P G_br) by b, and the MAC conditional
+   terms equal the single-user ones. *)
+let mi_of_scenario s =
+  let r = link_rates s in
+  { Templates.ab = r.c_ab;
+    ba = r.c_ab;
+    ar = r.c_ar;
+    br = r.c_br;
+    ra = r.c_ar;
+    rb = r.c_br;
+    mac_a = r.c_ar;
+    mac_b = r.c_br;
+    mac_sum = r.c_mac;
+    a_rb = r.c_a_rb;
+    b_ra = r.c_b_ra;
+  }
+
+let bounds protocol kind s = Templates.bounds protocol kind (mi_of_scenario s)
+
+let is_sum_term (t : Bound.term) = t.Bound.ca > 0. && t.Bound.cb > 0.
+
+let relay_free_outer protocol s =
+  let b = bounds protocol Bound.Outer s in
+  { b with Bound.terms = List.filter (fun t -> not (is_sum_term t)) b.Bound.terms }

@@ -1,0 +1,63 @@
+type sum_rate_result = {
+  protocol : Protocol.t;
+  bound_kind : Bound.kind;
+  sum_rate : float;
+  ra : float;
+  rb : float;
+  deltas : float array;
+}
+
+let sum_rate protocol kind scenario =
+  let b = Gaussian.bounds protocol kind scenario in
+  let r = Rate_region.max_sum_rate b in
+  { protocol;
+    bound_kind = kind;
+    sum_rate = Rate_region.sum r;
+    ra = r.Rate_region.ra;
+    rb = r.Rate_region.rb;
+    deltas = r.Rate_region.deltas;
+  }
+
+let all_sum_rates kind scenario =
+  List.map (fun p -> sum_rate p kind scenario) Protocol.all
+
+let best_protocol kind scenario =
+  match all_sum_rates kind scenario with
+  | [] -> assert false (* Protocol.all is non-empty *)
+  | first :: rest ->
+    List.fold_left
+      (fun best r -> if r.sum_rate > best.sum_rate +. 1e-12 then r else best)
+      first rest
+
+let crossover_powers_db ?(lo_db = -10.) ?(hi_db = 25.) ?(samples = 141)
+    (p1, p2) ~gains kind =
+  let diff power_db =
+    let s = Gaussian.scenario ~power_db ~gains in
+    (sum_rate p1 kind s).sum_rate -. (sum_rate p2 kind s).sum_rate
+  in
+  Numerics.Root.crossings ~f:diff ~lo:lo_db ~hi:hi_db ~samples
+
+let hbc_strict_advantage scenario =
+  let hbc = Gaussian.bounds Protocol.Hbc Bound.Inner scenario in
+  let mabc_outer = Gaussian.bounds Protocol.Mabc Bound.Outer scenario in
+  let tdbc_outer = Gaussian.bounds Protocol.Tdbc Bound.Outer scenario in
+  let candidates = Rate_region.boundary ~weights:129 hbc in
+  let outside =
+    List.filter_map
+      (fun (p : Numerics.Vec2.t) ->
+        let ra = p.Numerics.Vec2.x and rb = p.Numerics.Vec2.y in
+        let d_mabc = Rate_region.distance_outside mabc_outer ~ra ~rb in
+        let d_tdbc = Rate_region.distance_outside tdbc_outer ~ra ~rb in
+        if d_mabc > 1e-9 && d_tdbc > 1e-9 then
+          Some (ra, rb, Float.min d_mabc d_tdbc)
+        else None)
+      candidates
+  in
+  match outside with
+  | [] -> None
+  | first :: rest ->
+    Some
+      (List.fold_left
+         (fun ((_, _, m_best) as best) ((_, _, m) as cand) ->
+           if m > m_best then cand else best)
+         first rest)

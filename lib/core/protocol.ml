@@ -1,0 +1,47 @@
+type t = Dt | Naive | Mabc | Tdbc | Hbc
+
+let all = [ Dt; Naive; Mabc; Tdbc; Hbc ]
+let relayed = [ Naive; Mabc; Tdbc; Hbc ]
+let coded = [ Mabc; Tdbc; Hbc ]
+
+let name = function
+  | Dt -> "DT"
+  | Naive -> "NAIVE"
+  | Mabc -> "MABC"
+  | Tdbc -> "TDBC"
+  | Hbc -> "HBC"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "dt" -> Some Dt
+  | "naive" | "naive4" -> Some Naive
+  | "mabc" -> Some Mabc
+  | "tdbc" -> Some Tdbc
+  | "hbc" -> Some Hbc
+  | _ -> None
+
+let num_phases = function Dt -> 2 | Naive -> 4 | Mabc -> 2 | Tdbc -> 3 | Hbc -> 4
+
+let phase_description t l =
+  let bad () = invalid_arg "Protocol.phase_description: phase out of range" in
+  match (t, l) with
+  | Dt, 1 -> "a -> b"
+  | Dt, 2 -> "b -> a"
+  | Naive, 1 -> "a -> r"
+  | Naive, 2 -> "r -> b"
+  | Naive, 3 -> "b -> r"
+  | Naive, 4 -> "r -> a"
+  | Mabc, 1 -> "a,b -> r (MAC)"
+  | Mabc, 2 -> "r -> a,b (broadcast)"
+  | Tdbc, 1 -> "a -> r,b"
+  | Tdbc, 2 -> "b -> r,a"
+  | Tdbc, 3 -> "r -> a,b (broadcast)"
+  | Hbc, 1 -> "a -> r,b"
+  | Hbc, 2 -> "b -> r,a"
+  | Hbc, 3 -> "a,b -> r (MAC)"
+  | Hbc, 4 -> "r -> a,b (broadcast)"
+  | (Dt | Naive | Mabc | Tdbc | Hbc), _ -> bad ()
+
+let pp fmt t = Format.pp_print_string fmt (name t)
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b

@@ -1,0 +1,46 @@
+(** The four half-duplex decode-and-forward protocols analysed in the
+    paper (Fig. 2 there).
+
+    - {b DT}: direct transmission, no relay — phase 1 a->b, phase 2 b->a.
+    - {b NAIVE}: the traditional four-phase routing strawman of the
+      paper's Fig. 1(ii): a->r, r->b, b->r, r->a. Each hop is a plain
+      point-to-point transmission; no network coding, no overheard side
+      information. Implemented to quantify how much the coded protocols
+      buy (the paper's introductory motivation).
+    - {b MABC} (multiple-access broadcast): phase 1 both terminals
+      transmit to the relay simultaneously; phase 2 the relay broadcasts
+      the XOR. No side information is ever overheard (both terminals are
+      transmitting, hence deaf, in phase 1).
+    - {b TDBC} (time-division broadcast): phase 1 a alone, phase 2 b
+      alone (each overheard by the opposite terminal), phase 3 relay
+      broadcast of a binned XOR.
+    - {b HBC} (hybrid broadcast): phases 1 and 2 as TDBC, phase 3 a joint
+      MAC transmission from both terminals to the relay, phase 4 relay
+      broadcast. MABC and TDBC are the special cases [d1 = d2 = 0] and
+      [d3 = 0] respectively. *)
+
+type t = Dt | Naive | Mabc | Tdbc | Hbc
+
+val all : t list
+(** In presentation order: [DT; NAIVE; MABC; TDBC; HBC]. *)
+
+val relayed : t list
+(** The relay protocols (everything but DT). *)
+
+val coded : t list
+(** The paper's coded-cooperation protocols: [MABC; TDBC; HBC]. *)
+
+val name : t -> string
+val of_string : string -> t option
+(** Case-insensitive. *)
+
+val num_phases : t -> int
+
+val phase_description : t -> int -> string
+(** [phase_description p l] describes phase [l] (1-based) of protocol
+    [p], e.g. ["a,b -> r (MAC)"]. Raises [Invalid_argument] for an
+    out-of-range phase. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int

@@ -1,0 +1,183 @@
+type opt_result = { ra : float; rb : float; deltas : float array }
+
+let sum r = r.ra +. r.rb
+
+(* LP variable layout: x = [ Ra; Rb; d_1; ...; d_L ]. *)
+let lp_constraints (b : Bound.t) =
+  let l = b.Bound.num_phases in
+  let nvars = 2 + l in
+  let of_term (t : Bound.term) =
+    let coeffs = Array.make nvars 0. in
+    coeffs.(0) <- t.Bound.ca;
+    coeffs.(1) <- t.Bound.cb;
+    Array.iteri (fun i c -> coeffs.(2 + i) <- -.c) t.Bound.per_phase;
+    Linprog.Simplex.constr coeffs Linprog.Simplex.Le 0.
+  in
+  let simplex_row =
+    let coeffs = Array.make nvars 0. in
+    for i = 2 to nvars - 1 do
+      coeffs.(i) <- 1.
+    done;
+    Linprog.Simplex.constr coeffs Linprog.Simplex.Eq 1.
+  in
+  (nvars, simplex_row :: List.map of_term b.Bound.terms)
+
+let max_weighted b ~wa ~wb =
+  if wa < 0. || wb < 0. || wa +. wb <= 0. then
+    invalid_arg "Rate_region.max_weighted: bad weights";
+  let nvars, constrs = lp_constraints b in
+  let c = Array.make nvars 0. in
+  c.(0) <- wa;
+  c.(1) <- wb;
+  match Linprog.Simplex.maximize ~c ~constrs with
+  | Linprog.Simplex.Optimal s ->
+    let x = s.Linprog.Simplex.x in
+    { ra = x.(0); rb = x.(1); deltas = Array.sub x 2 (nvars - 2) }
+  | Linprog.Simplex.Unbounded ->
+    failwith "Rate_region.max_weighted: unbounded bound system"
+  | Linprog.Simplex.Infeasible ->
+    failwith "Rate_region.max_weighted: infeasible bound system"
+
+let max_sum_rate b = max_weighted b ~wa:1. ~wb:1.
+
+(* A tiny secondary weight makes the corner lexicographic without
+   perturbing the primary optimum at these problem scales. *)
+let lex_eps = 1e-7
+
+let max_ra b = max_weighted b ~wa:1. ~wb:lex_eps
+let max_rb b = max_weighted b ~wa:lex_eps ~wb:1.
+
+let achievable b ~ra ~rb =
+  if ra < -1e-12 || rb < -1e-12 then false
+  else begin
+    (* project out the rates: constraints over the durations only *)
+    let l = b.Bound.num_phases in
+    let of_term (t : Bound.term) =
+      (* sum_l c_l d_l >= ca ra + cb rb *)
+      Linprog.Simplex.constr
+        (Array.copy t.Bound.per_phase)
+        Linprog.Simplex.Ge
+        ((t.Bound.ca *. ra) +. (t.Bound.cb *. rb) -. 1e-9)
+    in
+    let simplex_row =
+      Linprog.Simplex.constr (Array.make l 1.) Linprog.Simplex.Eq 1.
+    in
+    Linprog.Simplex.feasible ~nvars:l
+      ~constrs:(simplex_row :: List.map of_term b.Bound.terms)
+  end
+
+let dedup_points pts =
+  let close (p : Numerics.Vec2.t) (q : Numerics.Vec2.t) =
+    Numerics.Vec2.dist p q < 1e-7
+  in
+  List.fold_left
+    (fun acc p -> if List.exists (close p) acc then acc else p :: acc)
+    [] pts
+  |> List.rev
+
+let boundary ?(weights = 65) b =
+  if weights < 2 then invalid_arg "Rate_region.boundary: weights < 2";
+  let corner_a = max_ra b and corner_b = max_rb b in
+  let sweep =
+    Numerics.Float_utils.fold_range weights ~init:[] ~f:(fun acc i ->
+        let w = float_of_int (i + 1) /. float_of_int (weights + 1) in
+        let r = max_weighted b ~wa:w ~wb:(1. -. w) in
+        { r with deltas = r.deltas } :: acc)
+  in
+  let pts =
+    List.map
+      (fun r -> Numerics.Vec2.make r.ra r.rb)
+      ((corner_b :: sweep) @ [ corner_a ])
+  in
+  dedup_points pts
+  |> List.sort (fun (p : Numerics.Vec2.t) (q : Numerics.Vec2.t) ->
+         compare (p.Numerics.Vec2.x, p.Numerics.Vec2.y)
+           (q.Numerics.Vec2.x, q.Numerics.Vec2.y))
+
+let polygon ?weights b = Numerics.Polygon.down_closure (boundary ?weights b)
+
+let area ?weights b = Numerics.Polygon.area (polygon ?weights b)
+
+let contains_region ?weights big small =
+  List.for_all
+    (fun (p : Numerics.Vec2.t) ->
+      achievable big ~ra:p.Numerics.Vec2.x ~rb:p.Numerics.Vec2.y)
+    (boundary ?weights small)
+
+let distance_outside b ~ra ~rb =
+  if achievable b ~ra ~rb then 0.
+  else
+    Numerics.Polygon.distance_to_boundary (polygon b)
+      (Numerics.Vec2.make ra rb)
+
+let max_product ?weights b =
+  let pts = boundary ?weights b in
+  (* the product is a quadratic along each frontier edge; its interior
+     critical point is t* = -(x0 dy + y0 dx) / (2 dx dy) *)
+  let edge_best (p : Numerics.Vec2.t) (q : Numerics.Vec2.t) =
+    let candidates =
+      let dx = q.Numerics.Vec2.x -. p.Numerics.Vec2.x in
+      let dy = q.Numerics.Vec2.y -. p.Numerics.Vec2.y in
+      let interior =
+        if abs_float (dx *. dy) < 1e-15 then []
+        else begin
+          let t =
+            -.((p.Numerics.Vec2.x *. dy) +. (p.Numerics.Vec2.y *. dx))
+            /. (2. *. dx *. dy)
+          in
+          if t > 0. && t < 1. then [ Numerics.Vec2.lerp p q t ] else []
+        end
+      in
+      p :: q :: interior
+    in
+    Numerics.Float_utils.max_by
+      (fun (v : Numerics.Vec2.t) -> v.Numerics.Vec2.x *. v.Numerics.Vec2.y)
+      candidates
+  in
+  match pts with
+  | [] -> Numerics.Vec2.zero
+  | [ p ] -> p
+  | first :: rest ->
+    let _, best =
+      List.fold_left
+        (fun (prev, best) q ->
+          let cand = edge_best prev q in
+          let better =
+            cand.Numerics.Vec2.x *. cand.Numerics.Vec2.y
+            > best.Numerics.Vec2.x *. best.Numerics.Vec2.y
+          in
+          (q, if better then cand else best))
+        (first, first) rest
+    in
+    best
+
+let union_polygon ?weights bounds =
+  if bounds = [] then invalid_arg "Rate_region.union_polygon: no regions";
+  Numerics.Polygon.down_closure
+    (List.concat_map (fun b -> boundary ?weights b) bounds)
+
+let binding_terms ?(eps = 1e-7) (b : Bound.t) r =
+  List.filter
+    (fun (t : Bound.term) ->
+      let lhs = (t.Bound.ca *. r.ra) +. (t.Bound.cb *. r.rb) in
+      let rhs = Bound.rate_budget b ~deltas:r.deltas t in
+      abs_float (lhs -. rhs) <= eps *. Float.max 1. (abs_float rhs))
+    b.Bound.terms
+
+let boundary_with_schedules ?(weights = 65) b =
+  if weights < 2 then
+    invalid_arg "Rate_region.boundary_with_schedules: weights < 2";
+  let sweep =
+    Numerics.Float_utils.fold_range weights ~init:[] ~f:(fun acc i ->
+        let w = float_of_int (i + 1) /. float_of_int (weights + 1) in
+        max_weighted b ~wa:w ~wb:(1. -. w) :: acc)
+  in
+  let all = (max_rb b :: sweep) @ [ max_ra b ] in
+  (* dedup by rate pair, keeping the first schedule seen for it *)
+  let close a b' =
+    abs_float (a.ra -. b'.ra) < 1e-7 && abs_float (a.rb -. b'.rb) < 1e-7
+  in
+  List.fold_left
+    (fun acc r -> if List.exists (close r) acc then acc else r :: acc)
+    [] all
+  |> List.sort (fun a b' -> compare (a.ra, a.rb) (b'.ra, b'.rb))

@@ -1,0 +1,68 @@
+type candidate = { relay_id : string; gains : Channel.Gains.t }
+
+type choice = {
+  relay : candidate;
+  protocol : Protocol.t;
+  sum_rate : float;
+  deltas : float array;
+}
+
+let candidates_on_line pl ~positions =
+  List.map
+    (fun d ->
+      { relay_id = Printf.sprintf "r@%.2f" d;
+        gains = Channel.Pathloss.gains_on_line pl ~relay_position:d;
+      })
+    positions
+
+let best ?(protocols = Protocol.all) ~power cands =
+  if cands = [] then invalid_arg "Relay_selection.best: no candidates";
+  if protocols = [] then invalid_arg "Relay_selection.best: no protocols";
+  let evaluate cand =
+    let s = Gaussian.scenario_lin ~power ~gains:cand.gains in
+    List.map
+      (fun protocol ->
+        let r = Optimize.sum_rate protocol Bound.Inner s in
+        { relay = cand;
+          protocol;
+          sum_rate = r.Optimize.sum_rate;
+          deltas = r.Optimize.deltas;
+        })
+      protocols
+  in
+  let all = List.concat_map evaluate cands in
+  match all with
+  | [] -> assert false (* both inputs checked non-empty *)
+  | first :: rest ->
+    List.fold_left
+      (fun acc c -> if c.sum_rate > acc.sum_rate +. 1e-12 then c else acc)
+      first rest
+
+let selection_gain ?(blocks = 500) ?(seed = 7) ~power cands =
+  if cands = [] then invalid_arg "Relay_selection.selection_gain: no candidates";
+  if blocks <= 0 then invalid_arg "Relay_selection.selection_gain: blocks <= 0";
+  let processes =
+    List.map
+      (fun cand -> Channel.Fading.create ~rng_seed:(seed + Hashtbl.hash cand.relay_id) ~mean:cand.gains ())
+      cands
+  in
+  let best_acc = ref 0. and fixed_acc = ref 0. in
+  for _ = 1 to blocks do
+    let realised =
+      List.map2
+        (fun cand fading -> { cand with gains = Channel.Fading.draw fading })
+        cands processes
+    in
+    let best_rate =
+      List.fold_left
+        (fun acc cand ->
+          Float.max acc (best ~power [ cand ]).sum_rate)
+        0. realised
+    in
+    best_acc := !best_acc +. best_rate;
+    (match realised with
+    | fixed :: _ -> fixed_acc := !fixed_acc +. (best ~power [ fixed ]).sum_rate
+    | [] -> assert false (* cands checked non-empty *))
+  done;
+  let n = float_of_int blocks in
+  (!best_acc /. n, !fixed_acc /. n)

@@ -1,0 +1,45 @@
+type result = { capacity : float; input : Pmf.t; iterations : int }
+
+let log2 = Numerics.Float_utils.log2
+
+(* Classic Blahut-Arimoto with the Arimoto capacity bracket: at each
+   iteration, for current input p compute
+     d(x) = D( W(.|x) || q ) where q is the output distribution;
+   then C_low = sum p(x) d(x) <= C <= max_x d(x), and the update is
+   p(x) <- p(x) 2^{d(x)} / Z. *)
+let capacity ?(tol = 1e-9) ?(max_iter = 10_000) ch =
+  let nx = Dmc.num_inputs ch and ny = Dmc.num_outputs ch in
+  let w = Dmc.matrix ch in
+  let p = ref (Pmf.to_array (Pmf.uniform nx)) in
+  let d = Array.make nx 0. in
+  let rec iterate it =
+    let q = Array.make ny 0. in
+    Array.iteri
+      (fun x px ->
+        if px > 0. then
+          Array.iteri (fun y wxy -> q.(y) <- q.(y) +. (px *. wxy)) w.(x))
+      !p;
+    for x = 0 to nx - 1 do
+      let acc = ref 0. in
+      for y = 0 to ny - 1 do
+        let wxy = w.(x).(y) in
+        if wxy > 0. then acc := !acc +. (wxy *. log2 (wxy /. q.(y)))
+      done;
+      d.(x) <- !acc
+    done;
+    let c_low = ref 0. and c_high = ref neg_infinity in
+    Array.iteri
+      (fun x px ->
+        c_low := !c_low +. (px *. d.(x));
+        if d.(x) > !c_high then c_high := d.(x))
+      !p;
+    if !c_high -. !c_low <= tol || it >= max_iter then
+      { capacity = !c_low; input = Pmf.of_weights !p; iterations = it }
+    else begin
+      let next = Array.mapi (fun x px -> px *. (2. ** d.(x))) !p in
+      let z = Numerics.Float_utils.sum next in
+      p := Array.map (fun v -> v /. z) next;
+      iterate (it + 1)
+    end
+  in
+  iterate 1

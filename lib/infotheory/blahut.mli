@@ -1,0 +1,12 @@
+(** Blahut–Arimoto computation of discrete channel capacity. *)
+
+type result = {
+  capacity : float;        (** channel capacity in bits per use *)
+  input : Pmf.t;           (** capacity-achieving input distribution *)
+  iterations : int;        (** iterations until convergence *)
+}
+
+val capacity : ?tol:float -> ?max_iter:int -> Dmc.t -> result
+(** [capacity ch] runs the Blahut–Arimoto alternating maximisation until
+    the capacity bracket (difference between the upper and lower capacity
+    estimates) falls below [tol] (default 1e-9 bits). *)

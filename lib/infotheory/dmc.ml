@@ -1,0 +1,59 @@
+type t = { w : float array array; nx : int; ny : int }
+
+let create w =
+  let nx = Array.length w in
+  if nx = 0 then invalid_arg "Dmc.create: no inputs";
+  let ny = Array.length w.(0) in
+  if ny = 0 then invalid_arg "Dmc.create: no outputs";
+  Array.iter
+    (fun row ->
+      if Array.length row <> ny then invalid_arg "Dmc.create: ragged matrix";
+      Array.iter
+        (fun p ->
+          if p < 0. || Float.is_nan p then
+            invalid_arg "Dmc.create: negative transition probability")
+        row;
+      if
+        not
+          (Numerics.Float_utils.approx_equal ~eps:1e-9
+             (Numerics.Float_utils.sum row) 1.)
+      then invalid_arg "Dmc.create: row does not sum to 1")
+    w;
+  { w = Array.map Array.copy w; nx; ny }
+
+let num_inputs t = t.nx
+let num_outputs t = t.ny
+let transition t x y = t.w.(x).(y)
+let matrix t = Array.map Array.copy t.w
+
+let joint t px =
+  if Pmf.size px <> t.nx then invalid_arg "Dmc.joint: input size mismatch";
+  Array.init t.nx (fun x ->
+      let p = Pmf.prob px x in
+      Array.map (fun w -> p *. w) t.w.(x))
+
+let output_dist t px = Pmf.of_weights (Info.marginal_y (joint t px))
+
+let mutual_information t px = Info.mutual_information (joint t px)
+
+let cascade t1 t2 =
+  if t1.ny <> t2.nx then invalid_arg "Dmc.cascade: alphabet mismatch";
+  create
+    (Array.init t1.nx (fun x ->
+         Array.init t2.ny (fun z ->
+             let acc = ref 0. in
+             for y = 0 to t1.ny - 1 do
+               acc := !acc +. (t1.w.(x).(y) *. t2.w.(y).(z))
+             done;
+             !acc)))
+
+let sample_with t ~u x =
+  if x < 0 || x >= t.nx then invalid_arg "Dmc.sample_with: bad input symbol";
+  let row = t.w.(x) in
+  let rec scan y acc =
+    if y = t.ny - 1 then y
+    else
+      let acc = acc +. row.(y) in
+      if u < acc then y else scan (y + 1) acc
+  in
+  scan 0 0.

@@ -1,0 +1,32 @@
+(** Discrete memoryless point-to-point channels.
+
+    A channel is a stochastic matrix [w.(x).(y) = P(Y=y | X=x)]. *)
+
+type t
+
+val create : float array array -> t
+(** Validates that every row is a pmf. Raises [Invalid_argument]
+    otherwise. *)
+
+val num_inputs : t -> int
+val num_outputs : t -> int
+val transition : t -> int -> int -> float
+val matrix : t -> float array array
+(** Returns a copy of the transition matrix. *)
+
+val joint : t -> Pmf.t -> float array array
+(** [joint ch px] is the joint pmf [P(x) W(y|x)]. *)
+
+val output_dist : t -> Pmf.t -> Pmf.t
+
+val mutual_information : t -> Pmf.t -> float
+(** [I(X;Y)] for the given input distribution, in bits. *)
+
+val cascade : t -> t -> t
+(** [cascade ch1 ch2] is the channel obtained by feeding [ch1]'s output
+    into [ch2]; requires matching alphabet sizes. *)
+
+val sample_with : t -> u:float -> int -> int
+(** [sample_with ch ~u x] draws an output symbol for input [x] by
+    inverting the row CDF at [u], where [u] is a uniform [0,1) variate
+    supplied by the caller (keeps this library free of RNG dependencies). *)

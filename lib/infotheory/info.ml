@@ -1,0 +1,53 @@
+let log2 = Numerics.Float_utils.log2
+
+let binary_entropy p =
+  if p < 0. || p > 1. then invalid_arg "Info.binary_entropy: p outside [0,1]";
+  let term x = if x > 0. then -.x *. log2 x else 0. in
+  term p +. term (1. -. p)
+
+let entropy a =
+  let acc = ref 0. in
+  Array.iter (fun p -> if p > 0. then acc := !acc -. (p *. log2 p)) a;
+  !acc
+
+let kl_divergence p q =
+  if Pmf.size p <> Pmf.size q then invalid_arg "Info.kl_divergence: size mismatch";
+  let acc = ref 0. in
+  for i = 0 to Pmf.size p - 1 do
+    let pi = Pmf.prob p i and qi = Pmf.prob q i in
+    if pi > 0. then
+      if qi > 0. then acc := !acc +. (pi *. log2 (pi /. qi))
+      else acc := infinity
+  done;
+  !acc
+
+let validate_joint j =
+  let total = ref 0. in
+  Array.iter
+    (Array.iter (fun p ->
+         if p < 0. || Float.is_nan p then
+           invalid_arg "Info.validate_joint: negative entry";
+         total := !total +. p))
+    j;
+  if not (Numerics.Float_utils.approx_equal ~eps:1e-6 !total 1.) then
+    invalid_arg "Info.validate_joint: mass is not 1"
+
+let joint_entropy j =
+  let acc = ref 0. in
+  Array.iter
+    (Array.iter (fun p -> if p > 0. then acc := !acc -. (p *. log2 p)))
+    j;
+  !acc
+
+let marginal_x j = Array.map (fun row -> Numerics.Float_utils.sum row) j
+
+let marginal_y j =
+  let ny = Array.length j.(0) in
+  let m = Array.make ny 0. in
+  Array.iter (fun row -> Array.iteri (fun y p -> m.(y) <- m.(y) +. p) row) j;
+  m
+
+let mutual_information j =
+  entropy (marginal_x j) +. entropy (marginal_y j) -. joint_entropy j
+
+let conditional_entropy_y_given_x j = joint_entropy j -. entropy (marginal_x j)

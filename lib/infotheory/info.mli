@@ -1,0 +1,28 @@
+(** Entropies and mutual information of finite joint distributions.
+    Joint distributions are given as matrices [j.(x).(y) = P(X=x, Y=y)]. *)
+
+val binary_entropy : float -> float
+(** [binary_entropy p] is [H(p) = -p log p - (1-p) log (1-p)] in bits. *)
+
+val entropy : float array -> float
+(** Entropy of an unnormalised-checked pmf given as a raw array (the
+    caller guarantees it sums to 1; zero entries are fine). *)
+
+val kl_divergence : Pmf.t -> Pmf.t -> float
+(** [kl_divergence p q] in bits; [infinity] when the support of [p] is not
+    contained in the support of [q]. *)
+
+val joint_entropy : float array array -> float
+
+val marginal_x : float array array -> float array
+val marginal_y : float array array -> float array
+
+val mutual_information : float array array -> float
+(** [mutual_information j] is [I(X;Y)] of the joint pmf [j]. *)
+
+val conditional_entropy_y_given_x : float array array -> float
+(** [H(Y|X)]. *)
+
+val validate_joint : float array array -> unit
+(** Checks non-negativity and total mass 1 within 1e-6; raises
+    [Invalid_argument] otherwise. *)

@@ -1,0 +1,82 @@
+type t = { w : float array array array; n1 : int; n2 : int; ny : int }
+
+let create w =
+  let n1 = Array.length w in
+  if n1 = 0 then invalid_arg "Mac.create: no inputs for user 1";
+  let n2 = Array.length w.(0) in
+  if n2 = 0 then invalid_arg "Mac.create: no inputs for user 2";
+  let ny = Array.length w.(0).(0) in
+  Array.iter
+    (fun plane ->
+      if Array.length plane <> n2 then invalid_arg "Mac.create: ragged";
+      Array.iter
+        (fun row ->
+          if Array.length row <> ny then invalid_arg "Mac.create: ragged";
+          if
+            not
+              (Numerics.Float_utils.approx_equal ~eps:1e-9
+                 (Numerics.Float_utils.sum row) 1.)
+          then invalid_arg "Mac.create: row does not sum to 1";
+          Array.iter
+            (fun p ->
+              if p < 0. then invalid_arg "Mac.create: negative probability")
+            row)
+        plane)
+    w;
+  { w = Array.map (Array.map Array.copy) w; n1; n2; ny }
+
+let of_dmc_pair ~combine ch =
+  let ny = Dmc.num_outputs ch in
+  create
+    (Array.init 2 (fun x1 ->
+         Array.init 2 (fun x2 ->
+             let x = combine x1 x2 in
+             Array.init ny (fun y -> Dmc.transition ch x y))))
+
+let num_inputs1 t = t.n1
+let num_inputs2 t = t.n2
+let num_outputs t = t.ny
+
+type terms = { i1_given_2 : float; i2_given_1 : float; i_joint : float }
+
+let rate_terms t p1 p2 =
+  if Pmf.size p1 <> t.n1 || Pmf.size p2 <> t.n2 then
+    invalid_arg "Mac.rate_terms: input size mismatch";
+  (* I(X1,X2; Y): treat the input pair as one variable *)
+  let joint_pair =
+    Array.init (t.n1 * t.n2) (fun k ->
+        let x1 = k / t.n2 and x2 = k mod t.n2 in
+        let p = Pmf.prob p1 x1 *. Pmf.prob p2 x2 in
+        Array.map (fun w -> p *. w) t.w.(x1).(x2))
+  in
+  let i_joint = Info.mutual_information joint_pair in
+  (* I(X1; Y | X2) = sum_x2 p(x2) I(X1; Y | X2=x2) *)
+  let cond_mi ~fix_second =
+    let n_fixed = if fix_second then t.n2 else t.n1 in
+    let p_fixed = if fix_second then p2 else p1 in
+    let acc = ref 0. in
+    for xf = 0 to n_fixed - 1 do
+      let pf = Pmf.prob p_fixed xf in
+      if pf > 0. then begin
+        let n_free = if fix_second then t.n1 else t.n2 in
+        let p_free = if fix_second then p1 else p2 in
+        let j =
+          Array.init n_free (fun xv ->
+              let w = if fix_second then t.w.(xv).(xf) else t.w.(xf).(xv) in
+              Array.map (fun p -> Pmf.prob p_free xv *. p) w)
+        in
+        acc := !acc +. (pf *. Info.mutual_information j)
+      end
+    done;
+    !acc
+  in
+  { i1_given_2 = cond_mi ~fix_second:true;
+    i2_given_1 = cond_mi ~fix_second:false;
+    i_joint;
+  }
+
+let in_region terms r1 r2 =
+  let eps = 1e-12 in
+  r1 <= terms.i1_given_2 +. eps
+  && r2 <= terms.i2_given_1 +. eps
+  && r1 +. r2 <= terms.i_joint +. eps

@@ -1,0 +1,39 @@
+(** Two-user discrete memoryless multiple-access channels.
+
+    The relay's receive phase in the MABC and HBC protocols is a MAC from
+    terminals [a] and [b]; its achievable rate region for independent
+    inputs is characterised by the three standard mutual-information
+    terms computed here. *)
+
+type t
+
+val create : float array array array -> t
+(** [create w] where [w.(x1).(x2).(y) = P(Y=y | X1=x1, X2=x2)]. Every row
+    must be a pmf; raises [Invalid_argument] otherwise. *)
+
+val of_dmc_pair : combine:(int -> int -> int) -> Dmc.t -> t
+(** [of_dmc_pair ~combine ch] builds the deterministic-combining MAC in
+    which the pair [(x1, x2)] is mapped to the single input
+    [combine x1 x2] of the point-to-point channel [ch]: a convenient
+    model of two binary transmitters whose symbols interact (e.g. XOR for
+    a noiseless-superposition caricature). The input alphabets are both
+    assumed binary. *)
+
+val num_inputs1 : t -> int
+val num_inputs2 : t -> int
+val num_outputs : t -> int
+
+type terms = {
+  i1_given_2 : float;  (** I(X1; Y | X2) *)
+  i2_given_1 : float;  (** I(X2; Y | X1) *)
+  i_joint : float;     (** I(X1, X2; Y) *)
+}
+
+val rate_terms : t -> Pmf.t -> Pmf.t -> terms
+(** [rate_terms mac p1 p2] evaluates the MAC pentagon corner terms for
+    independent inputs [X1 ~ p1], [X2 ~ p2]. *)
+
+val in_region : terms -> float -> float -> bool
+(** [in_region terms r1 r2] tests membership of the rate pair in the MAC
+    pentagon [r1 <= I1, r2 <= I2, r1+r2 <= I12] (closed, with a 1e-12
+    tolerance). *)

@@ -1,0 +1,64 @@
+type t = float array
+
+let of_weights w =
+  if Array.length w = 0 then invalid_arg "Pmf.of_weights: empty";
+  Array.iter
+    (fun p -> if p < 0. || Float.is_nan p then invalid_arg "Pmf.of_weights: negative weight")
+    w;
+  let total = Numerics.Float_utils.sum w in
+  if total <= 0. then invalid_arg "Pmf.of_weights: zero total";
+  Array.map (fun p -> p /. total) w
+
+let of_array a =
+  let total = Numerics.Float_utils.sum a in
+  if not (Numerics.Float_utils.approx_equal ~eps:1e-9 total 1.) then
+    invalid_arg "Pmf.of_array: probabilities do not sum to 1";
+  of_weights a
+
+let uniform n =
+  if n <= 0 then invalid_arg "Pmf.uniform: empty alphabet";
+  Array.make n (1. /. float_of_int n)
+
+let deterministic ~size i =
+  if i < 0 || i >= size then invalid_arg "Pmf.deterministic: out of range";
+  Array.init size (fun j -> if j = i then 1. else 0.)
+
+let binary p =
+  if p < 0. || p > 1. then invalid_arg "Pmf.binary: p outside [0,1]";
+  [| 1. -. p; p |]
+
+let size = Array.length
+let prob t i = t.(i)
+let to_array = Array.copy
+
+let entropy t =
+  let acc = ref 0. in
+  Array.iter
+    (fun p -> if p > 0. then acc := !acc -. (p *. Numerics.Float_utils.log2 p))
+    t;
+  !acc
+
+let expected t f =
+  let acc = ref 0. in
+  Array.iteri (fun i p -> acc := !acc +. (p *. f i)) t;
+  !acc
+
+let product p q =
+  let nq = Array.length q in
+  Array.init (Array.length p * nq) (fun k -> p.(k / nq) *. q.(k mod nq))
+
+let tv_distance p q =
+  if Array.length p <> Array.length q then
+    invalid_arg "Pmf.tv_distance: size mismatch";
+  let acc = ref 0. in
+  Array.iteri (fun i pi -> acc := !acc +. abs_float (pi -. q.(i))) p;
+  !acc /. 2.
+
+let pp fmt t =
+  Format.fprintf fmt "[";
+  Array.iteri
+    (fun i p ->
+      if i > 0 then Format.fprintf fmt "; ";
+      Format.fprintf fmt "%.4f" p)
+    t;
+  Format.fprintf fmt "]"

@@ -1,0 +1,38 @@
+(** Finite probability mass functions. All information quantities in this
+    library are measured in bits. *)
+
+type t
+(** An immutable pmf over [{0, ..., n-1}]. *)
+
+val of_array : float array -> t
+(** Validates: entries non-negative and summing to 1 within 1e-9, then
+    renormalises exactly. Raises [Invalid_argument] otherwise. *)
+
+val of_weights : float array -> t
+(** Like {!of_array} but accepts any non-negative weights with positive
+    sum and normalises them. *)
+
+val uniform : int -> t
+val deterministic : size:int -> int -> t
+(** Point mass at the given symbol. *)
+
+val binary : float -> t
+(** [binary p] is the Bernoulli pmf [(1-p, p)]; requires [0 <= p <= 1]. *)
+
+val size : t -> int
+val prob : t -> int -> float
+val to_array : t -> float array
+
+val entropy : t -> float
+(** Shannon entropy in bits; [0 log 0 = 0]. *)
+
+val expected : t -> (int -> float) -> float
+
+val product : t -> t -> t
+(** [product p q] is the independent joint pmf over the product alphabet,
+    indexed row-major ([i * size q + j]). *)
+
+val tv_distance : t -> t -> float
+(** Total-variation distance between pmfs of equal size. *)
+
+val pp : Format.formatter -> t -> unit

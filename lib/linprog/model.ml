@@ -1,0 +1,75 @@
+type var = int
+
+type row = { cname : string; terms : (var * float) list; rel : Simplex.relation; rhs : float }
+
+type t = {
+  mutable names : string list;  (* reversed registration order *)
+  mutable nvars : int;
+  mutable rows : row list;      (* reversed *)
+  mutable obj : (var * float) list;
+}
+
+type solution = { x : float array; objective : float }
+
+type failure = [ `Unbounded | `Infeasible ]
+
+let create () = { names = []; nvars = 0; rows = []; obj = [] }
+
+let variable m name =
+  if List.mem name m.names then
+    invalid_arg ("Model.variable: duplicate variable name " ^ name);
+  let v = m.nvars in
+  m.names <- name :: m.names;
+  m.nvars <- m.nvars + 1;
+  v
+
+let relation_of = function `Le -> Simplex.Le | `Ge -> Simplex.Ge | `Eq -> Simplex.Eq
+
+let add m ~name terms rel rhs =
+  m.rows <- { cname = name; terms; rel = relation_of rel; rhs } :: m.rows
+
+let objective m terms = m.obj <- terms
+
+let dense n terms =
+  let a = Array.make n 0. in
+  List.iter
+    (fun (v, coef) ->
+      if v < 0 || v >= n then invalid_arg "Model: variable out of range";
+      a.(v) <- a.(v) +. coef)
+    terms;
+  a
+
+let to_simplex m =
+  let constrs =
+    List.rev_map
+      (fun r ->
+        Simplex.constr (dense m.nvars r.terms) r.rel r.rhs)
+      m.rows
+  in
+  (dense m.nvars m.obj, constrs)
+
+let solve m =
+  let c, constrs = to_simplex m in
+  match Simplex.maximize ~c ~constrs with
+  | Simplex.Optimal s ->
+    Ok { x = s.Simplex.x; objective = s.Simplex.objective }
+  | Simplex.Unbounded -> Error `Unbounded
+  | Simplex.Infeasible -> Error `Infeasible
+
+let solve_min m =
+  let c, constrs = to_simplex m in
+  match Simplex.minimize ~c ~constrs with
+  | Simplex.Optimal s ->
+    Ok { x = s.Simplex.x; objective = s.Simplex.objective }
+  | Simplex.Unbounded -> Error `Unbounded
+  | Simplex.Infeasible -> Error `Infeasible
+
+let value sol v = sol.x.(v)
+let objective_value sol = sol.objective
+
+let var_name m v =
+  let names = Array.of_list (List.rev m.names) in
+  names.(v)
+
+let num_vars m = m.nvars
+let num_constraints m = List.length m.rows

@@ -1,0 +1,44 @@
+(** A small modelling layer over {!Simplex} with named variables.
+
+    Example: maximise the bidirectional sum rate over phase durations.
+    {[
+      let m = Model.create () in
+      let ra = Model.variable m "Ra" and d1 = Model.variable m "d1" in
+      Model.add m ~name:"cut" [ (ra, 1.); (d1, -2.5) ] `Le 0.;
+      Model.objective m [ (ra, 1.) ];
+      match Model.solve m with
+      | Ok sol -> Model.value sol ra
+      | Error _ -> ...
+    ]} *)
+
+type t
+type var
+type solution
+
+type failure = [ `Unbounded | `Infeasible ]
+
+val create : unit -> t
+
+val variable : t -> string -> var
+(** [variable m name] registers a fresh non-negative variable. Names must
+    be unique within a model; raises [Invalid_argument] otherwise. *)
+
+val add : t -> name:string -> (var * float) list -> [ `Le | `Ge | `Eq ] ->
+  float -> unit
+(** [add m ~name terms rel rhs] adds the constraint
+    [sum (coeff * var) rel rhs]. Repeated variables in [terms] have their
+    coefficients summed. *)
+
+val objective : t -> (var * float) list -> unit
+(** Sets the linear objective (to be maximised). Replaces any previous
+    objective. *)
+
+val solve : t -> (solution, failure) result
+val solve_min : t -> (solution, failure) result
+
+val value : solution -> var -> float
+val objective_value : solution -> float
+
+val var_name : t -> var -> string
+val num_vars : t -> int
+val num_constraints : t -> int

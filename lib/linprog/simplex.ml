@@ -1,0 +1,238 @@
+type relation = Le | Ge | Eq
+
+type constr = { coeffs : float array; relation : relation; rhs : float }
+
+type solution = { x : float array; objective : float }
+
+type outcome = Optimal of solution | Unbounded | Infeasible
+
+let constr coeffs relation rhs = { coeffs; relation; rhs }
+
+let eps = 1e-9
+
+(* Internal tableau: [rows] is an m x (ncols+1) array, last column the
+   right-hand side. [basis.(i)] is the column currently basic in row i.
+   [allowed.(j)] marks columns permitted to enter the basis (artificials
+   are disallowed in phase 2). *)
+type tableau = {
+  rows : float array array;
+  basis : int array;
+  ncols : int;                (* structural + slack + artificial columns *)
+  mutable nrows : int;        (* rows may be dropped when redundant *)
+  allowed : bool array;
+}
+
+let pivot t ~row ~col =
+  let r = t.rows.(row) in
+  let p = r.(col) in
+  for j = 0 to t.ncols do
+    r.(j) <- r.(j) /. p
+  done;
+  for i = 0 to t.nrows - 1 do
+    if i <> row then begin
+      let factor = t.rows.(i).(col) in
+      if factor <> 0. then
+        for j = 0 to t.ncols do
+          t.rows.(i).(j) <- t.rows.(i).(j) -. (factor *. r.(j))
+        done
+    end
+  done;
+  t.basis.(row) <- col
+
+(* One simplex phase: maximise [cost . x] from the current basic feasible
+   solution. Bland's rule: entering = lowest-index column with positive
+   reduced cost; leaving = lowest basis index among ratio-test ties. *)
+let run_phase t cost =
+  let reduced_costs () =
+    (* r_j = c_j - c_B . B^-1 A_j; recomputed from scratch each iteration
+       (the LPs here are tiny, robustness beats speed) *)
+    Array.init t.ncols (fun j ->
+        if not t.allowed.(j) then neg_infinity
+        else begin
+          let acc = ref cost.(j) in
+          for i = 0 to t.nrows - 1 do
+            let cb = cost.(t.basis.(i)) in
+            if cb <> 0. then acc := !acc -. (cb *. t.rows.(i).(j))
+          done;
+          !acc
+        end)
+  in
+  let rec loop iter =
+    if iter > 10_000 then failwith "Simplex: iteration limit exceeded";
+    let r = reduced_costs () in
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.ncols - 1 do
+         if r.(j) > eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      let leave = ref (-1) and best = ref infinity in
+      for i = 0 to t.nrows - 1 do
+        let a = t.rows.(i).(col) in
+        if a > eps then begin
+          let ratio = t.rows.(i).(t.ncols) /. a in
+          if
+            ratio < !best -. eps
+            || (abs_float (ratio -. !best) <= eps
+               && !leave >= 0
+               && t.basis.(i) < t.basis.(!leave))
+          then begin
+            best := ratio;
+            leave := i
+          end
+        end
+      done;
+      if !leave < 0 then `Unbounded
+      else begin
+        pivot t ~row:!leave ~col;
+        loop (iter + 1)
+      end
+    end
+  in
+  loop 0
+
+let objective_value t cost =
+  let acc = ref 0. in
+  for i = 0 to t.nrows - 1 do
+    let cb = cost.(t.basis.(i)) in
+    if cb <> 0. then acc := !acc +. (cb *. t.rows.(i).(t.ncols))
+  done;
+  !acc
+
+let drop_row t i =
+  if i < t.nrows - 1 then begin
+    t.rows.(i) <- t.rows.(t.nrows - 1);
+    t.basis.(i) <- t.basis.(t.nrows - 1)
+  end;
+  t.nrows <- t.nrows - 1
+
+(* Remove artificial variables from the basis after phase 1. A basic
+   artificial sits at value zero; pivot it out on any eligible column, or
+   drop the (redundant) row when no such column exists. *)
+let drive_out_artificials t ~first_artificial =
+  let i = ref 0 in
+  while !i < t.nrows do
+    if t.basis.(!i) >= first_artificial then begin
+      let col = ref (-1) in
+      (try
+         for j = 0 to first_artificial - 1 do
+           if abs_float t.rows.(!i).(j) > eps then begin
+             col := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !col >= 0 then begin
+        pivot t ~row:!i ~col:!col;
+        incr i
+      end
+      else drop_row t !i (* redundant constraint *)
+    end
+    else incr i
+  done
+
+let build_tableau ~nvars ~constrs =
+  List.iter
+    (fun c ->
+      if Array.length c.coeffs <> nvars then
+        invalid_arg "Simplex: constraint arity mismatch")
+    constrs;
+  let m = List.length constrs in
+  (* normalise right-hand sides to be non-negative *)
+  let normalised =
+    List.map
+      (fun c ->
+        if c.rhs < 0. then
+          { coeffs = Array.map (fun a -> -.a) c.coeffs;
+            relation =
+              (match c.relation with Le -> Ge | Ge -> Le | Eq -> Eq);
+            rhs = -.c.rhs;
+          }
+        else c)
+      constrs
+  in
+  let n_slack =
+    List.length
+      (List.filter (fun c -> c.relation <> Eq) normalised)
+  in
+  let first_slack = nvars in
+  let first_artificial = nvars + n_slack in
+  (* every row receives an artificial column: Le rows start with their
+     slack basic instead, so the artificial is only created when needed *)
+  let n_art =
+    List.length (List.filter (fun c -> c.relation <> Le) normalised)
+  in
+  let ncols = first_artificial + n_art in
+  let rows = Array.make_matrix m (ncols + 1) 0. in
+  let basis = Array.make m 0 in
+  let slack = ref first_slack and art = ref first_artificial in
+  List.iteri
+    (fun i c ->
+      Array.blit c.coeffs 0 rows.(i) 0 nvars;
+      rows.(i).(ncols) <- c.rhs;
+      (match c.relation with
+      | Le ->
+        rows.(i).(!slack) <- 1.;
+        basis.(i) <- !slack;
+        incr slack
+      | Ge ->
+        rows.(i).(!slack) <- -1.;
+        incr slack;
+        rows.(i).(!art) <- 1.;
+        basis.(i) <- !art;
+        incr art
+      | Eq ->
+        rows.(i).(!art) <- 1.;
+        basis.(i) <- !art;
+        incr art))
+    normalised;
+  let t =
+    { rows; basis; ncols; nrows = m; allowed = Array.make ncols true }
+  in
+  (t, first_artificial)
+
+let maximize ~c ~constrs =
+  let nvars = Array.length c in
+  let t, first_artificial = build_tableau ~nvars ~constrs in
+  (* phase 1: maximise -(sum of artificials) *)
+  let phase1_cost = Array.make t.ncols 0. in
+  for j = first_artificial to t.ncols - 1 do
+    phase1_cost.(j) <- -1.
+  done;
+  (match run_phase t phase1_cost with
+  | `Unbounded -> assert false (* phase-1 objective is bounded above by 0 *)
+  | `Optimal -> ());
+  if objective_value t phase1_cost < -.eps then Infeasible
+  else begin
+    drive_out_artificials t ~first_artificial;
+    for j = first_artificial to t.ncols - 1 do
+      t.allowed.(j) <- false
+    done;
+    let phase2_cost = Array.make t.ncols 0. in
+    Array.blit c 0 phase2_cost 0 nvars;
+    match run_phase t phase2_cost with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+      let x = Array.make nvars 0. in
+      for i = 0 to t.nrows - 1 do
+        if t.basis.(i) < nvars then x.(t.basis.(i)) <- t.rows.(i).(t.ncols)
+      done;
+      Optimal { x; objective = objective_value t phase2_cost }
+  end
+
+let minimize ~c ~constrs =
+  match maximize ~c:(Array.map (fun v -> -.v) c) ~constrs with
+  | Optimal { x; objective } -> Optimal { x; objective = -.objective }
+  | (Unbounded | Infeasible) as o -> o
+
+let feasible ~constrs ~nvars =
+  match maximize ~c:(Array.make nvars 0.) ~constrs with
+  | Optimal _ -> true
+  | Unbounded -> true
+  | Infeasible -> false

@@ -1,0 +1,39 @@
+(** Two-phase primal simplex for dense linear programs.
+
+    Problems are stated over non-negative variables [x >= 0]:
+    maximise [c . x] subject to a list of linear constraints, each of the
+    form [a . x (<= | >= | =) b]. The implementation uses Bland's
+    anti-cycling rule throughout, so it terminates on every input; the
+    LPs arising from rate-region computations are tiny (fewer than ten
+    variables), so no effort is spent on sparsity. *)
+
+type relation = Le | Ge | Eq
+
+type constr = {
+  coeffs : float array;  (** one coefficient per variable *)
+  relation : relation;
+  rhs : float;
+}
+
+type solution = {
+  x : float array;       (** optimal assignment, one entry per variable *)
+  objective : float;     (** value of [c . x] at the optimum *)
+}
+
+type outcome = Optimal of solution | Unbounded | Infeasible
+
+val constr : float array -> relation -> float -> constr
+(** Convenience constructor. *)
+
+val maximize : c:float array -> constrs:constr list -> outcome
+(** [maximize ~c ~constrs] solves the LP. All constraint coefficient
+    arrays must have the same length as [c]; raises [Invalid_argument]
+    otherwise. *)
+
+val minimize : c:float array -> constrs:constr list -> outcome
+(** [minimize ~c ~constrs] minimises [c . x]; the reported [objective] is
+    the minimum (not its negation). *)
+
+val feasible : constrs:constr list -> nvars:int -> bool
+(** [feasible ~constrs ~nvars] decides whether the constraint system has
+    any non-negative solution (phase 1 only). *)

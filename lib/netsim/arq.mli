@@ -1,0 +1,33 @@
+(** Stop-and-wait block ARQ on top of the protocol runner.
+
+    A fixed-rate schedule under fading loses blocks; ARQ recovers them by
+    retransmitting a failed message pair in subsequent blocks (fresh
+    fading draw each time), up to a retry budget. This trades delay and
+    goodput for reliability — the classic quasi-static workaround when
+    the transmitter has no CSI. Each attempt consumes one full protocol
+    block on the virtual clock. *)
+
+type config = {
+  protocol : Bidir.Protocol.t;
+  power : float;                   (** linear transmit power *)
+  fading : Channel.Fading.t;
+  deltas : float array;            (** fixed phase schedule *)
+  ra : float;                      (** fixed rate of a's messages *)
+  rb : float;
+  block_symbols : int;
+  messages : int;                  (** message pairs to deliver *)
+  max_retries : int;               (** additional attempts per message pair *)
+  seed : int;
+}
+
+type result = {
+  delivered_pairs : int;       (** pairs with both directions decoded *)
+  dropped_pairs : int;         (** retry budget exhausted *)
+  total_blocks : int;          (** blocks consumed, retries included *)
+  goodput : float;             (** delivered bits (both dirs) per symbol *)
+  mean_attempts : float;       (** attempts per delivered pair *)
+  max_attempts_seen : int;
+}
+
+val run : config -> result
+(** Raises [Invalid_argument] on malformed configurations. *)

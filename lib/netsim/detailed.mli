@@ -1,0 +1,22 @@
+(** The fine-grained, fully event-driven simulator.
+
+    Where {!Runner} evaluates each block's decode outcome in one step,
+    this module plays every protocol phase as explicit events on the
+    shared {!Radio} medium: terminals transmit their packets during
+    their phases, the relay listens, decides at its broadcast phase
+    whether it decoded both messages (information-accumulation budgets
+    in {!Node}), XORs the payloads and broadcasts, and each terminal
+    combines direct-link side information with the broadcast to decode
+    at the end of the block. The radio enforces the half-duplex
+    constraint structurally — a protocol implementation that scheduled
+    a node to transmit twice in a phase, or overlapped phases, would
+    crash rather than cheat.
+
+    Both simulators implement the same quasi-static PHY, so their
+    per-block outcomes coincide; `test_netsim` cross-validates them
+    block by block. The detailed path is what you extend to study
+    protocol {e variations} (different relay decisions, extra phases),
+    the block path is what you use for speed. *)
+
+val run : Runner.config -> Runner.result
+(** Same configuration and result shape as {!Runner.run}. *)

@@ -1,0 +1,34 @@
+type t = { queue : (unit -> unit) Event_queue.t; mutable clock : float }
+
+let create () = { queue = Event_queue.create (); clock = 0. }
+
+let now t = t.clock
+
+let schedule_at t ~time handler =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time is in the past";
+  Event_queue.push t.queue ~time handler
+
+let schedule_after t ~delay handler =
+  if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
+  Event_queue.push t.queue ~time:(t.clock +. delay) handler
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, handler) ->
+    t.clock <- time;
+    handler ();
+    true
+
+let run ?until t =
+  let continue () =
+    match (until, Event_queue.peek_time t.queue) with
+    | _, None -> false
+    | None, Some _ -> true
+    | Some limit, Some next -> next <= limit
+  in
+  while continue () do
+    ignore (step t)
+  done
+
+let pending t = Event_queue.size t.queue

@@ -1,0 +1,29 @@
+(** Discrete-event simulation engine with a virtual clock.
+
+    Handlers are thunks scheduled at absolute or relative virtual times;
+    running the engine drains the event queue in time order. Time is
+    measured in channel uses (symbols) throughout the simulator. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time; 0 before any event has fired. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Raises [Invalid_argument] when scheduling strictly in the past. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> unit
+(** Relative scheduling; [delay >= 0]. *)
+
+val run : ?until:float -> t -> unit
+(** Fires events in time order until the queue is empty, or until virtual
+    time would exceed [until] (remaining events stay queued). Handlers may
+    schedule further events. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val step : t -> bool
+(** Fire exactly one event; false when the queue is empty. *)

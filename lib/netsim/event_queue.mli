@@ -1,0 +1,19 @@
+(** A binary min-heap of timestamped events.
+
+    Ties in time are broken by insertion order, so the simulation is
+    deterministic: two events scheduled for the same instant fire in the
+    order they were scheduled. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Raises [Invalid_argument] on NaN times. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the earliest event. *)
+
+val peek_time : 'a t -> float option

@@ -1,0 +1,67 @@
+type t = {
+  mutable blocks : int;
+  mutable symbols : int;
+  mutable delivered_bits : int;
+  mutable offered_bits : int;
+  mutable deliveries_ok : int;
+  mutable deliveries_failed : int;
+  mutable bit_errors : int;
+  phase_outages : (int, int) Hashtbl.t;
+}
+
+let create () =
+  { blocks = 0;
+    symbols = 0;
+    delivered_bits = 0;
+    offered_bits = 0;
+    deliveries_ok = 0;
+    deliveries_failed = 0;
+    bit_errors = 0;
+    phase_outages = Hashtbl.create 8;
+  }
+
+let record_block t ~symbols ~bits_a ~bits_b ~delivered_a ~delivered_b =
+  t.blocks <- t.blocks + 1;
+  t.symbols <- t.symbols + symbols;
+  t.offered_bits <- t.offered_bits + bits_a + bits_b;
+  let account bits ok =
+    if ok then begin
+      t.delivered_bits <- t.delivered_bits + bits;
+      t.deliveries_ok <- t.deliveries_ok + 1
+    end
+    else t.deliveries_failed <- t.deliveries_failed + 1
+  in
+  account bits_a delivered_a;
+  account bits_b delivered_b
+
+let record_phase_outage t ~phase =
+  let current = Option.value ~default:0 (Hashtbl.find_opt t.phase_outages phase) in
+  Hashtbl.replace t.phase_outages phase (current + 1)
+
+let record_bit_error t = t.bit_errors <- t.bit_errors + 1
+
+let blocks t = t.blocks
+let symbols t = t.symbols
+let delivered_bits t = t.delivered_bits
+let offered_bits t = t.offered_bits
+
+let throughput t =
+  if t.symbols = 0 then 0.
+  else float_of_int t.delivered_bits /. float_of_int t.symbols
+
+let outage_rate t =
+  let total = t.deliveries_ok + t.deliveries_failed in
+  if total = 0 then 0. else float_of_int t.deliveries_failed /. float_of_int total
+
+let phase_outages t =
+  Hashtbl.fold (fun phase count acc -> (phase, count) :: acc) t.phase_outages []
+  |> List.sort compare
+
+let bit_errors t = t.bit_errors
+
+let pp fmt t =
+  Format.fprintf fmt
+    "{blocks=%d symbols=%d throughput=%.4f b/use outage=%.2f%% bit_errors=%d}"
+    t.blocks t.symbols (throughput t)
+    (100. *. outage_rate t)
+    t.bit_errors

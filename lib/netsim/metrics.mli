@@ -1,0 +1,34 @@
+(** Simulation counters and derived statistics. *)
+
+type t
+
+val create : unit -> t
+
+val record_block :
+  t -> symbols:int -> bits_a:int -> bits_b:int -> delivered_a:bool ->
+  delivered_b:bool -> unit
+(** Account one protocol block: [bits_a] is the size of a's message
+    (bound for b), [delivered_a] whether b decoded it, and symmetrically. *)
+
+val record_phase_outage : t -> phase:int -> unit
+val record_bit_error : t -> unit
+(** An undetected corruption (decoded bits differ from the sent bits
+    despite all checks passing) — must stay at zero. *)
+
+val blocks : t -> int
+val symbols : t -> int
+val delivered_bits : t -> int
+val offered_bits : t -> int
+
+val throughput : t -> float
+(** Delivered bits (both directions) per channel use. *)
+
+val outage_rate : t -> float
+(** Fraction of message deliveries that failed. *)
+
+val phase_outages : t -> (int * int) list
+(** [(phase, count)] pairs, ascending. *)
+
+val bit_errors : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+type lane = Broadcast | Addressed
+
+type t = {
+  node_id : Packet.node_id;
+  block : float;
+  budgets : (Packet.node_id * lane, float ref) Hashtbl.t;
+  packets : (Packet.node_id * lane, Packet.t) Hashtbl.t;
+  mutable joint : float;
+}
+
+let create node_id ~block_symbols =
+  if block_symbols <= 0 then invalid_arg "Node.create: empty block";
+  { node_id;
+    block = float_of_int block_symbols;
+    budgets = Hashtbl.create 8;
+    packets = Hashtbl.create 8;
+    joint = 0.;
+  }
+
+let id t = t.node_id
+
+let reset t =
+  Hashtbl.reset t.budgets;
+  Hashtbl.reset t.packets;
+  t.joint <- 0.
+
+let budget_in t src lane =
+  match Hashtbl.find_opt t.budgets (src, lane) with Some r -> !r | None -> 0.
+
+let budget t src = budget_in t src Broadcast
+let budget_addressed t src = budget_in t src Addressed
+
+let joint_budget t = t.joint
+
+let observe t (r : Radio.reception) =
+  if r.Radio.listener <> t.node_id then
+    invalid_arg "Node.observe: reception for a different node";
+  let fraction = r.Radio.phase_duration /. t.block in
+  List.iter
+    (fun (h : Radio.heard) ->
+      let lane =
+        match h.Radio.packet.Packet.dst with
+        | None -> Some Broadcast
+        | Some d when d = t.node_id -> Some Addressed
+        | Some _ -> None (* addressed elsewhere: dropped *)
+      in
+      match lane with
+      | None -> ()
+      | Some lane ->
+        let key = (h.Radio.from, lane) in
+        let cell =
+          match Hashtbl.find_opt t.budgets key with
+          | Some r -> r
+          | None ->
+            let r = ref 0. in
+            Hashtbl.add t.budgets key r;
+            r
+        in
+        cell := !cell +. (fraction *. Channel.Awgn.c h.Radio.snr);
+        if not (Hashtbl.mem t.packets key) then
+          Hashtbl.add t.packets key h.Radio.packet)
+    r.Radio.heard;
+  let terminal_heard =
+    List.exists
+      (fun (h : Radio.heard) -> h.Radio.from <> Packet.R)
+      r.Radio.heard
+  in
+  if terminal_heard then
+    t.joint <- t.joint +. (fraction *. Channel.Awgn.c r.Radio.total_snr)
+
+let packet_from t src = Hashtbl.find_opt t.packets (src, Broadcast)
+let packet_addressed_from t src = Hashtbl.find_opt t.packets (src, Addressed)
+
+let can_decode t ~src ~rate = rate <= budget t src +. 1e-9
+
+let relay_can_decode_both t ~ra ~rb =
+  can_decode t ~src:Packet.A ~rate:ra
+  && can_decode t ~src:Packet.B ~rate:rb
+  && ra +. rb <= t.joint +. 1e-9

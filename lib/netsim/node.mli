@@ -1,0 +1,52 @@
+(** Per-node decode state for the detailed simulator.
+
+    Each node accumulates, across the phases of one protocol block,
+    normalised mutual-information budgets toward decoding each source's
+    message (information-accumulation view of decode-and-forward: a
+    message of rate R bits per block use is decodable once its
+    accumulated budget reaches R). The relay additionally tracks the
+    joint (MAC sum) budget limiting the two terminal messages together.
+
+    Broadcast and addressed traffic are tracked separately: the coded
+    protocols broadcast ([Packet.dst = None]) and decoders may combine
+    budget across phases, while the naive routing protocol addresses
+    each forwarded packet to a single terminal ([dst = Some n]) and only
+    that terminal accounts it. Frames addressed to a different node are
+    dropped on arrival. *)
+
+type t
+
+val create : Packet.node_id -> block_symbols:int -> t
+
+val id : t -> Packet.node_id
+
+val reset : t -> unit
+(** Start a new block: clear budgets and received packets. *)
+
+val observe : t -> Radio.reception -> unit
+(** Account one listened phase: for every heard source [s] (whose frame
+    is broadcast or addressed to this node), the budget toward [s] grows
+    by [(duration / block) * C(snr_s)]; when at least one terminal was
+    heard, the joint budget grows by [(duration / block) * C(total_snr)].
+    The first broadcast packet and the first addressed packet per source
+    are retained. *)
+
+val budget : t -> Packet.node_id -> float
+(** Accumulated bits-per-block-use toward that source's broadcast
+    traffic. *)
+
+val budget_addressed : t -> Packet.node_id -> float
+(** Budget from frames the source addressed to this node. *)
+
+val joint_budget : t -> float
+
+val packet_from : t -> Packet.node_id -> Packet.t option
+(** The broadcast packet overheard from that source, if any. *)
+
+val packet_addressed_from : t -> Packet.node_id -> Packet.t option
+
+val can_decode : t -> src:Packet.node_id -> rate:float -> bool
+(** Broadcast-budget test: [budget >= rate] (with tolerance). *)
+
+val relay_can_decode_both : t -> ra:float -> rb:float -> bool
+(** Both individual (broadcast) budgets and the joint budget suffice. *)

@@ -1,0 +1,26 @@
+let tol = 1e-9
+
+let p2p_success ~power ~gain ~rate =
+  rate <= 0. || rate <= Channel.Awgn.c (power *. gain) +. tol
+
+let broadcast_success ~power ~gains ~rates =
+  if List.length gains <> List.length rates then
+    invalid_arg "Phy.broadcast_success: gains/rates mismatch";
+  List.map2 (fun gain rate -> p2p_success ~power ~gain ~rate) gains rates
+
+let mac_success ~power ~gain1 ~gain2 ~rate1 ~rate2 =
+  let c = Channel.Awgn.c in
+  rate1 <= c (power *. gain1) +. tol
+  && rate2 <= c (power *. gain2) +. tol
+  && rate1 +. rate2 <= c (power *. (gain1 +. gain2)) +. tol
+
+let combined_success ~parts ~rate =
+  let budget =
+    List.fold_left
+      (fun acc (fraction, mi) ->
+        if fraction < -.tol || mi < -.tol then
+          invalid_arg "Phy.combined_success: negative part";
+        acc +. (fraction *. mi))
+      0. parts
+  in
+  rate <= budget +. tol

@@ -1,0 +1,32 @@
+(** Outage physical layer.
+
+    The standard quasi-static abstraction matching the paper's
+    achievability results: a transmission at spectral efficiency [rate]
+    (bits per channel use of its phase) over a block whose instantaneous
+    mutual information is [i] succeeds iff [rate <= i]; otherwise the
+    receiver is in outage. With full CSI and rates chosen inside the
+    instantaneous region, outage never occurs; with schedules fixed in
+    advance under fading, it does. *)
+
+val p2p_success : power:float -> gain:float -> rate:float -> bool
+(** Single-user link: success iff [rate <= C(power * gain)]. A zero-rate
+    transmission always succeeds. *)
+
+val broadcast_success :
+  power:float -> gains:float list -> rates:float list -> bool list
+(** Per-receiver outcomes of a common broadcast; [gains] and [rates] are
+    per-receiver (each receiver needs a possibly different message rate,
+    as with the XOR broadcast where each side knows its own message). *)
+
+val mac_success :
+  power:float -> gain1:float -> gain2:float -> rate1:float -> rate2:float ->
+  bool
+(** Two-user Gaussian MAC at the relay: the rate pair must lie in the
+    pentagon [r1 <= C(P g1), r2 <= C(P g2), r1+r2 <= C(P g1 + P g2)]. *)
+
+val combined_success : parts:(float * float) list -> rate:float -> bool
+(** Information accumulated across several phases (e.g. TDBC side
+    information plus the relay broadcast): [parts] is a list of
+    [(fraction_of_block, mutual_information)] and the message of
+    normalised [rate] (bits per block use) is decodable iff
+    [rate <= sum fraction * mi]. *)

@@ -1,0 +1,99 @@
+type transmission = {
+  tx_src : Packet.node_id;
+  tx_packet : Packet.t;
+  tx_rate : float;
+}
+
+type heard = {
+  from : Packet.node_id;
+  packet : Packet.t;
+  rate : float;
+  snr : float;
+}
+
+type reception = {
+  listener : Packet.node_id;
+  phase_start : float;
+  phase_duration : float;
+  heard : heard list;
+  total_snr : float;
+}
+
+type t = {
+  engine : Engine.t;
+  power : float;
+  mutable gains : Channel.Gains.t;
+  mutable handlers : (Packet.node_id * (reception -> unit)) list;
+  mutable busy_until : float;
+  mutable on_air : Packet.node_id list;  (** transmitters of the live phase *)
+}
+
+let create engine ~power ~gains =
+  if power < 0. then invalid_arg "Radio.create: negative power";
+  { engine; power; gains; handlers = []; busy_until = 0.; on_air = [] }
+
+let set_gains t gains = t.gains <- gains
+
+let set_receiver t node handler =
+  t.handlers <- (node, handler) :: List.remove_assoc node t.handlers
+
+let link_gain t i j =
+  let g = t.gains in
+  match (i, j) with
+  | Packet.A, Packet.B | Packet.B, Packet.A -> g.Channel.Gains.g_ab
+  | Packet.A, Packet.R | Packet.R, Packet.A -> g.Channel.Gains.g_ar
+  | Packet.B, Packet.R | Packet.R, Packet.B -> g.Channel.Gains.g_br
+  | Packet.A, Packet.A | Packet.B, Packet.B | Packet.R, Packet.R ->
+    invalid_arg "Radio.link_gain: self link"
+
+let all_nodes = [ Packet.A; Packet.B; Packet.R ]
+
+let phase t ~start ~duration ~transmissions =
+  if duration < 0. then invalid_arg "Radio.phase: negative duration";
+  let sources = List.map (fun tx -> tx.tx_src) transmissions in
+  Engine.schedule_at t.engine ~time:start (fun () ->
+      (* the previous phase must have ended: the medium carries one
+         phase at a time in these protocols *)
+      if t.on_air <> [] then
+        failwith "Radio: phase scheduled while another is on the air";
+      let rec distinct = function
+        | [] -> true
+        | s :: rest -> (not (List.mem s rest)) && distinct rest
+      in
+      if not (distinct sources) then
+        failwith "Radio: node transmitting twice in one phase (half-duplex)";
+      t.on_air <- sources);
+  Engine.schedule_at t.engine ~time:(start +. duration) (fun () ->
+      t.on_air <- [];
+      let listeners =
+        List.filter (fun n -> not (List.mem n sources)) all_nodes
+      in
+      List.iter
+        (fun listener ->
+          match List.assoc_opt listener t.handlers with
+          | None -> ()
+          | Some handler ->
+            let heard =
+              List.map
+                (fun tx ->
+                  { from = tx.tx_src;
+                    packet = tx.tx_packet;
+                    rate = tx.tx_rate;
+                    snr = t.power *. link_gain t tx.tx_src listener;
+                  })
+                transmissions
+            in
+            let total_snr =
+              List.fold_left (fun acc h -> acc +. h.snr) 0. heard
+            in
+            handler
+              { listener;
+                phase_start = start;
+                phase_duration = duration;
+                heard;
+                total_snr;
+              })
+        listeners);
+  t.busy_until <- Float.max t.busy_until (start +. duration)
+
+let busy_until t = t.busy_until

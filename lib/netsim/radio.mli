@@ -1,0 +1,55 @@
+(** The shared wireless medium.
+
+    The radio owns the half-duplex constraint of the paper's model: a
+    node either transmits or listens during a phase, never both, and a
+    node may not start a transmission overlapping its own previous one.
+    Phases are scheduled on the engine; when a phase ends, every node
+    that was {e not} transmitting receives a {!reception} describing
+    everything it overheard (sources, rates, packets, receive SNRs),
+    and its registered handler fires. What a receiver can decode from
+    that is the PHY's and the node logic's business, not the radio's. *)
+
+type transmission = {
+  tx_src : Packet.node_id;
+  tx_packet : Packet.t;
+  tx_rate : float;  (** bits per channel use of this phase *)
+}
+
+type heard = {
+  from : Packet.node_id;
+  packet : Packet.t;
+  rate : float;
+  snr : float;      (** receive SNR of this source at the listener *)
+}
+
+type reception = {
+  listener : Packet.node_id;
+  phase_start : float;
+  phase_duration : float;     (** symbols *)
+  heard : heard list;         (** one entry per concurrent transmitter *)
+  total_snr : float;          (** sum of the heard SNRs (MAC superposition) *)
+}
+
+type t
+
+val create : Engine.t -> power:float -> gains:Channel.Gains.t -> t
+
+val set_gains : t -> Channel.Gains.t -> unit
+(** Update the (reciprocal) link gains — called once per fading block. *)
+
+val set_receiver : t -> Packet.node_id -> (reception -> unit) -> unit
+(** Install the handler invoked at the end of every phase the node spent
+    listening. At most one handler per node (later calls replace). *)
+
+val phase :
+  t -> start:float -> duration:float -> transmissions:transmission list ->
+  unit
+(** Schedule one protocol phase. At [start] the radio checks the
+    half-duplex and no-overlap constraints ([Failure] on violation —
+    a protocol implementation bug); at [start +. duration] it delivers
+    receptions to all listening nodes. Scheduling a phase overlapping a
+    previously scheduled one raises [Failure] at fire time. Empty
+    transmission lists are allowed (an idle gap). *)
+
+val busy_until : t -> float
+(** End time of the latest scheduled phase. *)

@@ -1,0 +1,190 @@
+type config = {
+  protocol : Bidir.Protocol.t;
+  power : float;
+  gains : Channel.Gains.t;
+  load : float;
+  block_symbols : int;
+  blocks : int;
+  seed : int;
+}
+
+type result = {
+  offered_bits : int;
+  carried_bits : int;
+  mean_delay_blocks : float;
+  p95_delay_blocks : float;
+  max_queue_bits : int;
+  utilisation : float;
+}
+
+(* a FIFO of (arrival_block, bits) batches *)
+type queue = { mutable batches : (float * int) list; mutable bits : int }
+
+let enqueue q ~arrival ~bits =
+  if bits > 0 then begin
+    q.batches <- q.batches @ [ (arrival, bits) ];
+    q.bits <- q.bits + bits
+  end
+
+(* drain up to [budget] bits; returns the sojourn times (in blocks) of
+   batches completed at [now] *)
+let drain q ~budget ~now =
+  let rec go budget acc =
+    match q.batches with
+    | [] -> acc
+    | (arrival, bits) :: rest ->
+      if bits <= budget then begin
+        q.batches <- rest;
+        q.bits <- q.bits - bits;
+        go (budget - bits) ((now -. arrival) :: acc)
+      end
+      else begin
+        (* partial service: the batch head shrinks, no completion yet *)
+        q.batches <- (arrival, bits - budget) :: rest;
+        q.bits <- q.bits - budget;
+        acc
+      end
+  in
+  go budget []
+
+let run cfg =
+  if cfg.load <= 0. then invalid_arg "Traffic.run: load must be positive";
+  if cfg.blocks <= 0 || cfg.block_symbols < 100 then
+    invalid_arg "Traffic.run: bad horizon";
+  let s = Bidir.Gaussian.scenario_lin ~power:cfg.power ~gains:cfg.gains in
+  let opt = Bidir.Optimize.sum_rate cfg.protocol Bidir.Bound.Inner s in
+  let n = float_of_int cfg.block_symbols in
+  (* per-block service in bits for each direction, at the optimal point *)
+  let serve_a = int_of_float (opt.Bidir.Optimize.ra *. n) in
+  let serve_b = int_of_float (opt.Bidir.Optimize.rb *. n) in
+  (* arrivals come as whole frames, a handful per block, so the arrival
+     variance is comparable to the per-block service and the queue shows
+     real M/D/1-style behaviour (bit-level Poisson would be far too
+     smooth at these batch sizes) *)
+  let frame_a = max 1 (serve_a / 4) in
+  let frame_b = max 1 (serve_b / 4) in
+  let offer_frames_a =
+    if serve_a = 0 then 0.
+    else cfg.load *. float_of_int serve_a /. float_of_int frame_a
+  in
+  let offer_frames_b =
+    if serve_b = 0 then 0.
+    else cfg.load *. float_of_int serve_b /. float_of_int frame_b
+  in
+  let rng = Prob.Rng.create ~seed:cfg.seed in
+  let q_a = { batches = []; bits = 0 } in
+  let q_b = { batches = []; bits = 0 } in
+  let delays = ref [] in
+  let offered = ref 0 and max_queue = ref 0 in
+  (* Poisson batch: number of bits arriving in one block is Poisson with
+     the given mean (sampled by summing exponential inter-arrivals) *)
+  let poisson mean =
+    if mean <= 0. then 0
+    else begin
+      let l = exp (-.mean) in
+      let rec go k p =
+        let p = p *. Prob.Rng.float rng in
+        if p > l && k < 100_000 then go (k + 1) p else k
+      in
+      (* for large means, a normal approximation keeps this O(1) *)
+      if mean > 50. then
+        max 0
+          (int_of_float
+             (Float.round (Prob.Dist.normal rng ~mean ~std:(sqrt mean))))
+      else go 0 1.
+    end
+  in
+  for block = 0 to cfg.blocks - 1 do
+    let now = float_of_int block in
+    let frames_a = poisson offer_frames_a and frames_b = poisson offer_frames_b in
+    offered := !offered + (frames_a * frame_a) + (frames_b * frame_b);
+    for _ = 1 to frames_a do
+      enqueue q_a ~arrival:now ~bits:frame_a
+    done;
+    for _ = 1 to frames_b do
+      enqueue q_b ~arrival:now ~bits:frame_b
+    done;
+    (* the block serves at the end of its slot *)
+    let done_a = drain q_a ~budget:serve_a ~now:(now +. 1.) in
+    let done_b = drain q_b ~budget:serve_b ~now:(now +. 1.) in
+    List.iter (fun d -> delays := d :: !delays) done_a;
+    List.iter (fun d -> delays := d :: !delays) done_b;
+    if q_a.bits + q_b.bits > !max_queue then max_queue := q_a.bits + q_b.bits
+  done;
+  (* carried = offered minus what is still queued *)
+  let carried_bits = !offered - q_a.bits - q_b.bits in
+  let delays = Array.of_list !delays in
+  let mean_delay, p95 =
+    if Array.length delays = 0 then (0., 0.)
+    else
+      ( Numerics.Stats.mean delays,
+        Numerics.Stats.quantile delays 0.95 )
+  in
+  { offered_bits = !offered;
+    carried_bits;
+    mean_delay_blocks = mean_delay;
+    p95_delay_blocks = p95;
+    max_queue_bits = !max_queue;
+    utilisation =
+      float_of_int carried_bits
+      /. Float.max 1. (float_of_int ((serve_a + serve_b) * cfg.blocks));
+  }
+
+let delay_curve ?(loads = [ 0.3; 0.5; 0.7; 0.8; 0.9; 0.95 ]) ?(blocks = 2_000)
+    ?(block_symbols = 1_000) ?(seed = 5) ~power_db ~gains protocol =
+  List.map
+    (fun load ->
+      let r =
+        run
+          { protocol;
+            power = Numerics.Float_utils.db_to_lin power_db;
+            gains;
+            load;
+            block_symbols;
+            blocks;
+            seed;
+          }
+      in
+      (load, r.mean_delay_blocks))
+    loads
+
+let comparison_table ?(offered = [ 1.5; 2.5; 3.5; 4.2 ]) ?(blocks = 2_000)
+    ?(block_symbols = 1_000) ~power_db ~gains () =
+  let power = Numerics.Float_utils.db_to_lin power_db in
+  let rows =
+    List.map
+      (fun rate ->
+        Printf.sprintf "%.1f" rate
+        :: List.map
+             (fun protocol ->
+               let s = Bidir.Gaussian.scenario_lin ~power ~gains in
+               let capacity =
+                 (Bidir.Optimize.sum_rate protocol Bidir.Bound.Inner s)
+                   .Bidir.Optimize.sum_rate
+               in
+               if rate >= 0.98 *. capacity then "overload"
+               else begin
+                 let r =
+                   run
+                     { protocol;
+                       power;
+                       gains;
+                       load = rate /. capacity;
+                       block_symbols;
+                       blocks;
+                       seed = 7;
+                     }
+                 in
+                 Printf.sprintf "%.2f" r.mean_delay_blocks
+               end)
+             Bidir.Protocol.all)
+      offered
+  in
+  { Bidir.Figures.table_id = "delay";
+    table_title =
+      Printf.sprintf
+        "Mean delay (blocks) vs offered sum rate (P=%g dB, static gains)"
+        power_db;
+    headers = "offered b/use" :: List.map Bidir.Protocol.name Bidir.Protocol.all;
+    rows;
+  }

@@ -1,0 +1,56 @@
+(** Queueing on top of the protocol blocks: the systems view of the
+    capacity results.
+
+    Messages arrive at each terminal as independent Poisson processes
+    (in bits, aggregated into per-block batches), wait in FIFO queues,
+    and each protocol block drains up to its per-direction rate. The
+    sojourn (queueing + service) time of each delivered bit-batch is
+    measured on the virtual clock. As the offered load approaches the
+    protocol's sum capacity the delay diverges — so the protocol with
+    the larger capacity region carries more load at any given delay,
+    which is what the paper's rate regions mean operationally. *)
+
+type config = {
+  protocol : Bidir.Protocol.t;
+  power : float;                   (** linear transmit power *)
+  gains : Channel.Gains.t;         (** static channel (service is then
+                                       deterministic per block) *)
+  load : float;                    (** offered load as a fraction of the
+                                       protocol's optimal sum rate,
+                                       split between the directions in
+                                       proportion to the optimal
+                                       operating point *)
+  block_symbols : int;
+  blocks : int;
+  seed : int;
+}
+
+type result = {
+  offered_bits : int;              (** total bits that arrived *)
+  carried_bits : int;              (** bits delivered within the horizon *)
+  mean_delay_blocks : float;       (** mean sojourn time of delivered
+                                       arrivals, in block units *)
+  p95_delay_blocks : float;
+  max_queue_bits : int;            (** high-water mark across queues *)
+  utilisation : float;             (** carried / (capacity x horizon) *)
+}
+
+val run : config -> result
+(** Raises [Invalid_argument] for [load <= 0], [load >= 1] is allowed
+    (overload: the queue grows without bound and delays reflect the
+    horizon). *)
+
+val delay_curve :
+  ?loads:float list -> ?blocks:int -> ?block_symbols:int -> ?seed:int ->
+  power_db:float -> gains:Channel.Gains.t -> Bidir.Protocol.t ->
+  (float * float) list
+(** [(load, mean delay in blocks)] samples of the delay-vs-load curve. *)
+
+val comparison_table :
+  ?offered:float list -> ?blocks:int -> ?block_symbols:int ->
+  power_db:float -> gains:Channel.Gains.t -> unit -> Bidir.Figures.table
+(** Mean delay (blocks) of every protocol at the same absolute offered
+    sum rates (bits/use); "overload" marks rates at or above a
+    protocol's capacity. The higher-capacity protocol carries the same
+    traffic at lower delay — the queueing meaning of the paper's rate
+    regions. *)

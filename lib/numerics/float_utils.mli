@@ -1,0 +1,46 @@
+(** Basic floating-point helpers shared across the whole code base. *)
+
+val log2 : float -> float
+(** [log2 x] is the base-2 logarithm of [x]. *)
+
+val db_to_lin : float -> float
+(** [db_to_lin d] converts a power ratio expressed in decibels to the
+    corresponding linear ratio, i.e. [10. ** (d /. 10.)]. *)
+
+val lin_to_db : float -> float
+(** [lin_to_db x] converts a linear power ratio to decibels. Raises
+    [Invalid_argument] if [x <= 0.]. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] is [x] restricted to the closed interval [[lo, hi]].
+    Raises [Invalid_argument] if [lo > hi]. *)
+
+val approx_equal : ?eps:float -> float -> float -> bool
+(** [approx_equal ?eps a b] holds when [a] and [b] differ by at most [eps]
+    in absolute terms or [eps] relative to the larger magnitude.
+    [eps] defaults to [1e-9]. *)
+
+val is_finite : float -> bool
+(** [is_finite x] is true when [x] is neither infinite nor NaN. *)
+
+val linspace : float -> float -> int -> float array
+(** [linspace a b n] is [n] evenly spaced samples from [a] to [b]
+    inclusive. Raises [Invalid_argument] if [n < 2]. *)
+
+val logspace : float -> float -> int -> float array
+(** [logspace a b n] is [n] samples spaced evenly on a log scale between
+    [10^a] and [10^b] inclusive. Raises [Invalid_argument] if [n < 2]. *)
+
+val sum : float array -> float
+(** [sum a] is the compensated (Kahan) sum of the elements of [a]. *)
+
+val mean : float array -> float
+(** [mean a] is the arithmetic mean. Raises [Invalid_argument] on an empty
+    array. *)
+
+val max_by : ('a -> float) -> 'a list -> 'a
+(** [max_by f xs] returns the element of [xs] maximising [f]. Raises
+    [Invalid_argument] on an empty list. *)
+
+val fold_range : int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** [fold_range n ~init ~f] folds [f] over [0 .. n-1]. *)

@@ -1,0 +1,37 @@
+let compare_pts (a : Vec2.t) (b : Vec2.t) =
+  match compare a.Vec2.x b.Vec2.x with 0 -> compare a.Vec2.y b.Vec2.y | c -> c
+
+(* Andrew's monotone chain. *)
+let convex_hull pts =
+  let pts = List.sort_uniq compare_pts pts in
+  match pts with
+  | [] | [ _ ] | [ _; _ ] -> pts
+  | _ ->
+    let half points =
+      List.fold_left
+        (fun acc p ->
+          let rec pop = function
+            | b :: a :: rest when Vec2.orient a b p <= 0. -> pop (a :: rest)
+            | stack -> stack
+          in
+          p :: pop acc)
+        [] points
+    in
+    let lower = half pts in
+    let upper = half (List.rev pts) in
+    (* each chain ends with its starting point of the other chain duplicated *)
+    let strip = function [] -> [] | _ :: tl -> tl in
+    List.rev_append (strip lower) (List.rev (strip upper))
+
+let is_convex_ccw poly =
+  match poly with
+  | [] | [ _ ] | [ _; _ ] -> true
+  | _ ->
+    let arr = Array.of_list poly in
+    let n = Array.length arr in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      let a = arr.(i) and b = arr.((i + 1) mod n) and c = arr.((i + 2) mod n) in
+      if Vec2.orient a b c < -1e-9 then ok := false
+    done;
+    !ok

@@ -1,0 +1,11 @@
+(** Convex hulls of planar point sets. *)
+
+val convex_hull : Vec2.t list -> Vec2.t list
+(** [convex_hull pts] is the convex hull of [pts] in counter-clockwise
+    order starting from the lexicographically smallest point, with
+    collinear interior points removed. Degenerate inputs (fewer than three
+    distinct points, or all collinear) return the distinct extreme points. *)
+
+val is_convex_ccw : Vec2.t list -> bool
+(** [is_convex_ccw poly] checks that consecutive vertex triples never turn
+    clockwise (collinear triples are allowed). *)

@@ -1,0 +1,39 @@
+let trapezoid ~f ~lo ~hi ~n =
+  if n < 1 then invalid_arg "Integrate.trapezoid: n < 1";
+  let h = (hi -. lo) /. float_of_int n in
+  let acc = ref ((f lo +. f hi) /. 2.) in
+  for i = 1 to n - 1 do
+    acc := !acc +. f (lo +. (float_of_int i *. h))
+  done;
+  !acc *. h
+
+let simpson ~f ~lo ~hi ~n =
+  if n < 1 then invalid_arg "Integrate.simpson: n < 1";
+  let n = if n mod 2 = 1 then n + 1 else n in
+  let h = (hi -. lo) /. float_of_int n in
+  let acc = ref (f lo +. f hi) in
+  for i = 1 to n - 1 do
+    let w = if i mod 2 = 1 then 4. else 2. in
+    acc := !acc +. (w *. f (lo +. (float_of_int i *. h)))
+  done;
+  !acc *. h /. 3.
+
+let adaptive_simpson ?(tol = 1e-10) ?(max_depth = 30) ~lo ~hi f =
+  let simpson_panel a b fa fm fb = (b -. a) /. 6. *. (fa +. (4. *. fm) +. fb) in
+  let rec go a b fa fm fb whole tol depth =
+    let m = (a +. b) /. 2. in
+    let lm = (a +. m) /. 2. and rm = (m +. b) /. 2. in
+    let flm = f lm and frm = f rm in
+    let left = simpson_panel a m fa flm fm in
+    let right = simpson_panel m b fm frm fb in
+    let delta = left +. right -. whole in
+    if depth <= 0 || abs_float delta <= 15. *. tol then
+      left +. right +. (delta /. 15.)
+    else
+      go a m fa flm fm left (tol /. 2.) (depth - 1)
+      +. go m b fm frm fb right (tol /. 2.) (depth - 1)
+  in
+  let fa = f lo and fb = f hi in
+  let m = (lo +. hi) /. 2. in
+  let fm = f m in
+  go lo hi fa fm fb (simpson_panel lo hi fa fm fb) tol max_depth

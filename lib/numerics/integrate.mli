@@ -1,0 +1,13 @@
+(** Numerical quadrature: used for averaging rates over fading
+    distributions. *)
+
+val trapezoid : f:(float -> float) -> lo:float -> hi:float -> n:int -> float
+(** Composite trapezoid rule with [n] panels. *)
+
+val simpson : f:(float -> float) -> lo:float -> hi:float -> n:int -> float
+(** Composite Simpson rule; [n] is rounded up to an even panel count. *)
+
+val adaptive_simpson :
+  ?tol:float -> ?max_depth:int -> lo:float -> hi:float -> (float -> float) ->
+  float
+(** Adaptive Simpson quadrature with local error control. *)

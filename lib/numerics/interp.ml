@@ -1,0 +1,36 @@
+type t = { xs : float array; ys : float array }
+
+let of_samples samples =
+  if List.length samples < 2 then
+    invalid_arg "Interp.of_samples: need at least two samples";
+  let xs = Array.of_list (List.map fst samples) in
+  let ys = Array.of_list (List.map snd samples) in
+  for i = 0 to Array.length xs - 2 do
+    if xs.(i) >= xs.(i + 1) then
+      invalid_arg "Interp.of_samples: abscissae must be strictly increasing"
+  done;
+  { xs; ys }
+
+let domain t = (t.xs.(0), t.xs.(Array.length t.xs - 1))
+
+let eval t x =
+  let n = Array.length t.xs in
+  (* binary search for the segment containing x *)
+  let rec search lo hi =
+    if hi - lo <= 1 then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.xs.(mid) <= x then search mid hi else search lo mid
+  in
+  let i =
+    if x <= t.xs.(0) then 0
+    else if x >= t.xs.(n - 1) then n - 2
+    else search 0 (n - 1)
+  in
+  let x0 = t.xs.(i) and x1 = t.xs.(i + 1) in
+  let y0 = t.ys.(i) and y1 = t.ys.(i + 1) in
+  y0 +. ((y1 -. y0) *. (x -. x0) /. (x1 -. x0))
+
+let tabulate ~f ~lo ~hi ~samples =
+  let xs = Float_utils.linspace lo hi samples in
+  of_samples (Array.to_list (Array.map (fun x -> (x, f x)) xs))

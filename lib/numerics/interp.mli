@@ -1,0 +1,19 @@
+(** Piecewise-linear interpolation over sampled series. *)
+
+type t
+(** A piecewise-linear function built from (x, y) samples with strictly
+    increasing x. *)
+
+val of_samples : (float * float) list -> t
+(** Raises [Invalid_argument] if fewer than two samples are given or the
+    abscissae are not strictly increasing. *)
+
+val eval : t -> float -> float
+(** [eval f x] linearly interpolates; outside the sampled range the
+    nearest segment is extrapolated. *)
+
+val domain : t -> float * float
+
+val tabulate : f:(float -> float) -> lo:float -> hi:float -> samples:int -> t
+(** [tabulate ~f ~lo ~hi ~samples] samples [f] uniformly and builds the
+    interpolant. *)

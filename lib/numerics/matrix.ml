@@ -1,0 +1,115 @@
+type t = { r : int; c : int; data : float array }
+
+let create ~rows ~cols v =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.create: empty dimension";
+  { r = rows; c = cols; data = Array.make (rows * cols) v }
+
+let init ~rows ~cols f =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.init: empty dimension";
+  { r = rows;
+    c = cols;
+    data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols));
+  }
+
+let of_rows rows_arr =
+  let r = Array.length rows_arr in
+  if r = 0 then invalid_arg "Matrix.of_rows: no rows";
+  let c = Array.length rows_arr.(0) in
+  if c = 0 then invalid_arg "Matrix.of_rows: empty rows";
+  Array.iter
+    (fun row ->
+      if Array.length row <> c then invalid_arg "Matrix.of_rows: ragged rows")
+    rows_arr;
+  init ~rows:r ~cols:c (fun i j -> rows_arr.(i).(j))
+
+let rows m = m.r
+let cols m = m.c
+let get m i j = m.data.((i * m.c) + j)
+let set m i j v = m.data.((i * m.c) + j) <- v
+let copy m = { m with data = Array.copy m.data }
+
+let identity n = init ~rows:n ~cols:n (fun i j -> if i = j then 1. else 0.)
+
+let transpose m = init ~rows:m.c ~cols:m.r (fun i j -> get m j i)
+
+let mul a b =
+  if a.c <> b.r then invalid_arg "Matrix.mul: dimension mismatch";
+  init ~rows:a.r ~cols:b.c (fun i j ->
+      let acc = ref 0. in
+      for k = 0 to a.c - 1 do
+        acc := !acc +. (get a i k *. get b k j)
+      done;
+      !acc)
+
+let mul_vec m v =
+  if m.c <> Array.length v then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.init m.r (fun i ->
+      let acc = ref 0. in
+      for j = 0 to m.c - 1 do
+        acc := !acc +. (get m i j *. v.(j))
+      done;
+      !acc)
+
+let solve a b =
+  if a.r <> a.c then invalid_arg "Matrix.solve: non-square matrix";
+  if a.r <> Array.length b then invalid_arg "Matrix.solve: size mismatch";
+  let n = a.r in
+  let m = copy a in
+  let x = Array.copy b in
+  let singular = ref false in
+  (* forward elimination with partial pivoting *)
+  for col = 0 to n - 1 do
+    if not !singular then begin
+      let pivot = ref col in
+      for i = col + 1 to n - 1 do
+        if abs_float (get m i col) > abs_float (get m !pivot col) then
+          pivot := i
+      done;
+      if abs_float (get m !pivot col) < 1e-12 then singular := true
+      else begin
+        if !pivot <> col then begin
+          for j = 0 to n - 1 do
+            let t = get m col j in
+            set m col j (get m !pivot j);
+            set m !pivot j t
+          done;
+          let t = x.(col) in
+          x.(col) <- x.(!pivot);
+          x.(!pivot) <- t
+        end;
+        for i = col + 1 to n - 1 do
+          let factor = get m i col /. get m col col in
+          if factor <> 0. then begin
+            for j = col to n - 1 do
+              set m i j (get m i j -. (factor *. get m col j))
+            done;
+            x.(i) <- x.(i) -. (factor *. x.(col))
+          end
+        done
+      end
+    end
+  done;
+  if !singular then None
+  else begin
+    (* back substitution *)
+    for i = n - 1 downto 0 do
+      let acc = ref x.(i) in
+      for j = i + 1 to n - 1 do
+        acc := !acc -. (get m i j *. x.(j))
+      done;
+      x.(i) <- !acc /. get m i i
+    done;
+    Some x
+  end
+
+let row m i = Array.init m.c (fun j -> get m i j)
+
+let pp fmt m =
+  for i = 0 to m.r - 1 do
+    Format.fprintf fmt "[";
+    for j = 0 to m.c - 1 do
+      if j > 0 then Format.fprintf fmt " ";
+      Format.fprintf fmt "%8.4f" (get m i j)
+    done;
+    Format.fprintf fmt "]@\n"
+  done

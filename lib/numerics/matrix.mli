@@ -1,0 +1,27 @@
+(** Small dense float matrices: just enough linear algebra for the
+    simplex tableau cross-checks and channel computations. *)
+
+type t
+(** Row-major dense matrix. *)
+
+val create : rows:int -> cols:int -> float -> t
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+val of_rows : float array array -> t
+(** Copies its input; rows must be non-empty and of equal length. *)
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+val identity : int -> t
+val transpose : t -> t
+val mul : t -> t -> t
+val mul_vec : t -> float array -> float array
+
+val solve : t -> float array -> float array option
+(** [solve a b] solves the square system [a x = b] by Gaussian elimination
+    with partial pivoting; [None] when singular (pivot below 1e-12). *)
+
+val row : t -> int -> float array
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+let phi = (sqrt 5. -. 1.) /. 2.
+
+let golden_max ?(tol = 1e-10) ?(max_iter = 200) ~f lo hi =
+  if lo > hi then invalid_arg "Optimize1d.golden_max: lo > hi";
+  if hi -. lo < tol then (lo, f lo)
+  else begin
+    let a = ref lo and b = ref hi in
+    let c = ref (hi -. (phi *. (hi -. lo))) in
+    let d = ref (lo +. (phi *. (hi -. lo))) in
+    let fc = ref (f !c) and fd = ref (f !d) in
+    let n = ref 0 in
+    while !b -. !a > tol && !n < max_iter do
+      incr n;
+      if !fc > !fd then begin
+        (* maximum lies in [a, d]; reuse c as the new d *)
+        b := !d;
+        d := !c;
+        fd := !fc;
+        c := !b -. (phi *. (!b -. !a));
+        fc := f !c
+      end
+      else begin
+        (* maximum lies in [c, b]; reuse d as the new c *)
+        a := !c;
+        c := !d;
+        fc := !fd;
+        d := !a +. (phi *. (!b -. !a));
+        fd := f !d
+      end
+    done;
+    let mid = (!a +. !b) /. 2. in
+    (mid, f mid)
+  end
+
+let golden_min ?tol ?max_iter ~f lo hi =
+  let x, v = golden_max ?tol ?max_iter ~f:(fun x -> -.f x) lo hi in
+  (x, -.v)
+
+let grid_max ?(refine = 2) ~lo ~hi ~samples f =
+  if samples < 2 then invalid_arg "Optimize1d.grid_max: need >= 2 samples";
+  let xs = Float_utils.linspace lo hi samples in
+  let best = ref 0 and best_v = ref neg_infinity in
+  Array.iteri
+    (fun i x ->
+      let v = f x in
+      if v > !best_v then begin
+        best := i;
+        best_v := v
+      end)
+    xs;
+  let a = xs.(max 0 (!best - 1)) and b = xs.(min (samples - 1) (!best + 1)) in
+  let rec polish a b n =
+    if n = 0 then golden_max ~f a b
+    else
+      let x, _ = golden_max ~f a b in
+      let w = (b -. a) /. 4. in
+      polish (Float.max a (x -. w)) (Float.min b (x +. w)) (n - 1)
+  in
+  let x, v = polish a b refine in
+  if v >= !best_v then (x, v) else (xs.(!best), !best_v)

@@ -1,0 +1,20 @@
+(** One-dimensional optimisation over a closed interval. *)
+
+val golden_max :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float ->
+  float * float
+(** [golden_max ~f lo hi] maximises a unimodal [f] on [[lo, hi]] by
+    golden-section search, returning [(argmax, max)]. *)
+
+val golden_min :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float ->
+  float * float
+(** Minimisation counterpart of {!golden_max}. *)
+
+val grid_max :
+  ?refine:int -> lo:float -> hi:float -> samples:int -> (float -> float) ->
+  float * float
+(** [grid_max ~lo ~hi ~samples f] evaluates [f] on a uniform grid and then
+    runs [refine] (default 2) rounds of golden-section search around the
+    best grid cell. Robust for multimodal objectives such as discrete-input
+    rate expressions. Returns [(argmax, max)]. *)

@@ -1,0 +1,67 @@
+let area poly =
+  match poly with
+  | [] | [ _ ] | [ _; _ ] -> 0.
+  | _ ->
+    let arr = Array.of_list poly in
+    let n = Array.length arr in
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      let a = arr.(i) and b = arr.((i + 1) mod n) in
+      acc := !acc +. Vec2.cross a b
+    done;
+    abs_float (!acc /. 2.)
+
+let contains poly p =
+  match poly with
+  | [] -> false
+  | [ q ] -> Vec2.dist p q < 1e-9
+  | [ a; b ] -> Vec2.dist a p +. Vec2.dist p b -. Vec2.dist a b < 1e-9
+  | _ ->
+    let arr = Array.of_list poly in
+    let n = Array.length arr in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      let a = arr.(i) and b = arr.((i + 1) mod n) in
+      if Vec2.orient a b p < -1e-9 then ok := false
+    done;
+    !ok
+
+let point_segment_distance p a b =
+  let ab = Vec2.sub b a in
+  let len2 = Vec2.dot ab ab in
+  if len2 = 0. then Vec2.dist p a
+  else
+    let t = Float_utils.clamp ~lo:0. ~hi:1. (Vec2.dot (Vec2.sub p a) ab /. len2) in
+    Vec2.dist p (Vec2.add a (Vec2.scale t ab))
+
+let distance_to_boundary poly p =
+  match poly with
+  | [] -> invalid_arg "Polygon.distance_to_boundary: empty polygon"
+  | [ q ] -> Vec2.dist p q
+  | _ ->
+    let arr = Array.of_list poly in
+    let n = Array.length arr in
+    let best = ref infinity in
+    for i = 0 to n - 1 do
+      let d = point_segment_distance p arr.(i) arr.((i + 1) mod n) in
+      if d < !best then best := d
+    done;
+    !best
+
+let down_closure pts =
+  let projections =
+    List.concat_map
+      (fun (p : Vec2.t) ->
+        [ p; Vec2.make p.Vec2.x 0.; Vec2.make 0. p.Vec2.y ])
+      pts
+  in
+  Hull.convex_hull (Vec2.zero :: projections)
+
+let max_weighted poly ~wx ~wy =
+  match poly with
+  | [] -> neg_infinity
+  | _ ->
+    List.fold_left
+      (fun acc (p : Vec2.t) ->
+        Float.max acc ((wx *. p.Vec2.x) +. (wy *. p.Vec2.y)))
+      neg_infinity poly

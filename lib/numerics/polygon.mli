@@ -1,0 +1,28 @@
+(** Convex polygon operations for rate regions.
+
+    A polygon is a list of vertices in counter-clockwise order. Rate
+    regions are "down-closed" convex sets in the positive quadrant: if
+    [(ra, rb)] is achievable so is any componentwise-smaller pair. *)
+
+val area : Vec2.t list -> float
+(** Shoelace area; non-negative for counter-clockwise polygons. *)
+
+val contains : Vec2.t list -> Vec2.t -> bool
+(** [contains poly p] tests membership of [p] in the closed convex polygon
+    [poly] (CCW order), with a small tolerance on the boundary. *)
+
+val point_segment_distance : Vec2.t -> Vec2.t -> Vec2.t -> float
+(** [point_segment_distance p a b] is the Euclidean distance from [p] to
+    the segment [a]–[b]. *)
+
+val distance_to_boundary : Vec2.t list -> Vec2.t -> float
+(** [distance_to_boundary poly p] is the minimum distance from [p] to any
+    edge of [poly]. *)
+
+val down_closure : Vec2.t list -> Vec2.t list
+(** [down_closure pts] is the convex hull of [pts] together with their
+    axis projections and the origin — the standard closure of an
+    achievable-rate set under time sharing and rate reduction. *)
+
+val max_weighted : Vec2.t list -> wx:float -> wy:float -> float
+(** [max_weighted poly ~wx ~wy] is [max (wx*x + wy*y)] over the vertices. *)

@@ -1,0 +1,101 @@
+let check_bracket name flo fhi =
+  if flo *. fhi > 0. then
+    invalid_arg (name ^ ": endpoints do not bracket a root")
+
+let bisect ?(tol = 1e-10) ?(max_iter = 200) ~f lo hi =
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then lo
+  else if fhi = 0. then hi
+  else begin
+    check_bracket "Root.bisect" flo fhi;
+    let rec loop lo hi flo n =
+      let mid = (lo +. hi) /. 2. in
+      if hi -. lo < tol || n = 0 then mid
+      else
+        let fmid = f mid in
+        if fmid = 0. then mid
+        else if flo *. fmid < 0. then loop lo mid flo (n - 1)
+        else loop mid hi fmid (n - 1)
+    in
+    loop lo hi flo max_iter
+  end
+
+let brent ?(tol = 1e-12) ?(max_iter = 100) ~f lo hi =
+  let fa = f lo and fb = f hi in
+  if fa = 0. then lo
+  else if fb = 0. then hi
+  else begin
+    check_bracket "Root.brent" fa fb;
+    (* State: (a, fa) contrapoint, (b, fb) best iterate, (c, fc) previous. *)
+    let a = ref lo and b = ref hi and fa = ref fa and fb = ref fb in
+    if abs_float !fa < abs_float !fb then begin
+      let t = !a in
+      a := !b;
+      b := t;
+      let t = !fa in
+      fa := !fb;
+      fb := t
+    end;
+    let c = ref !a and fc = ref !fa and mflag = ref true and d = ref !a in
+    let iter = ref 0 in
+    while abs_float !fb > 0. && abs_float (!b -. !a) > tol && !iter < max_iter
+    do
+      incr iter;
+      let s =
+        if !fa <> !fc && !fb <> !fc then
+          (* inverse quadratic interpolation *)
+          (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+          +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+          +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+        else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+      in
+      let lo_lim = ((3. *. !a) +. !b) /. 4. in
+      let out_of_range =
+        (s < Float.min lo_lim !b) || (s > Float.max lo_lim !b)
+      in
+      let cond =
+        out_of_range
+        || (!mflag && abs_float (s -. !b) >= abs_float (!b -. !c) /. 2.)
+        || ((not !mflag) && abs_float (s -. !b) >= abs_float (!c -. !d) /. 2.)
+        || (!mflag && abs_float (!b -. !c) < tol)
+        || ((not !mflag) && abs_float (!c -. !d) < tol)
+      in
+      let s = if cond then (!a +. !b) /. 2. else s in
+      mflag := cond;
+      let fs = f s in
+      d := !c;
+      c := !b;
+      fc := !fb;
+      if !fa *. fs < 0. then begin
+        b := s;
+        fb := fs
+      end
+      else begin
+        a := s;
+        fa := fs
+      end;
+      if abs_float !fa < abs_float !fb then begin
+        let t = !a in
+        a := !b;
+        b := t;
+        let t = !fa in
+        fa := !fb;
+        fb := t
+      end
+    done;
+    !b
+  end
+
+let crossings ~f ~lo ~hi ~samples =
+  if samples < 2 then invalid_arg "Root.crossings: need at least 2 samples";
+  let xs = Float_utils.linspace lo hi samples in
+  let ys = Array.map f xs in
+  let roots = ref [] in
+  for i = 0 to samples - 2 do
+    let y0 = ys.(i) and y1 = ys.(i + 1) in
+    if y0 = 0. then roots := xs.(i) :: !roots
+    else if y0 *. y1 < 0. then
+      roots := brent ~f xs.(i) xs.(i + 1) :: !roots
+  done;
+  if ys.(samples - 1) = 0. then roots := xs.(samples - 1) :: !roots;
+  List.rev !roots

@@ -1,0 +1,21 @@
+(** One-dimensional root finding. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** [bisect ~f lo hi] finds a root of [f] in [[lo, hi]] by bisection.
+    [f lo] and [f hi] must have opposite signs (a zero endpoint is returned
+    directly). [tol] (default [1e-10]) bounds the width of the final
+    bracket. Raises [Invalid_argument] when the bracket is invalid. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** [brent ~f lo hi] finds a root with Brent's method (inverse quadratic
+    interpolation falling back to bisection). Same bracket requirements as
+    {!bisect}; typically converges in far fewer evaluations. *)
+
+val crossings :
+  f:(float -> float) -> lo:float -> hi:float -> samples:int -> float list
+(** [crossings ~f ~lo ~hi ~samples] samples [f] at [samples] points on
+    [[lo, hi]] and refines every sign change with {!brent}, returning the
+    roots in increasing order. Useful for locating protocol crossover
+    points along an SNR sweep. *)

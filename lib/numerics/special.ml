@@ -1,0 +1,50 @@
+(* erfc via the Numerical-Recipes-style Chebyshev fit, good to ~1.2e-7
+   everywhere, which is ample for transition probabilities of quantised
+   Gaussian channels. *)
+let erfc x =
+  let z = abs_float x in
+  let t = 1. /. (1. +. (0.5 *. z)) in
+  let poly =
+    -1.26551223
+    +. t
+       *. (1.00002368
+          +. t
+             *. (0.37409196
+                +. t
+                   *. (0.09678418
+                      +. t
+                         *. (-0.18628806
+                            +. t
+                               *. (0.27886807
+                                  +. t
+                                     *. (-1.13520398
+                                        +. t
+                                           *. (1.48851587
+                                              +. t
+                                                 *. (-0.82215223
+                                                    +. (t *. 0.17087277)))))))))
+  in
+  let ans = t *. exp ((-.z *. z) +. poly) in
+  if x >= 0. then ans else 2. -. ans
+
+let erf x = 1. -. erfc x
+
+let sqrt2 = sqrt 2.
+
+let q_function x = 0.5 *. erfc (x /. sqrt2)
+
+let gaussian_pdf x = exp (-0.5 *. x *. x) /. sqrt (2. *. Float.pi)
+
+let gaussian_cdf x = 1. -. q_function x
+
+let inv_q p =
+  if p <= 0. || p >= 1. then invalid_arg "Special.inv_q: p outside (0,1)";
+  (* Q is strictly decreasing; bracket generously and bisect. *)
+  let rec bisect lo hi n =
+    if n = 0 then (lo +. hi) /. 2.
+    else
+      let mid = (lo +. hi) /. 2. in
+      if q_function mid > p then bisect mid hi (n - 1)
+      else bisect lo mid (n - 1)
+  in
+  bisect (-40.) 40. 200

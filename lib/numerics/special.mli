@@ -1,0 +1,23 @@
+(** Special functions needed by the channel and information-theory
+    substrates: the error function family and the Gaussian tail. *)
+
+val erf : float -> float
+(** [erf x] is the error function, accurate to roughly 1.2e-7 (Abramowitz &
+    Stegun 7.1.26 style rational approximation refined with one extra term). *)
+
+val erfc : float -> float
+(** [erfc x = 1 - erf x], computed to avoid cancellation for large [x]. *)
+
+val q_function : float -> float
+(** [q_function x] is the Gaussian tail probability
+    [P(Z > x)] for a standard normal [Z]. *)
+
+val inv_q : float -> float
+(** [inv_q p] is the inverse of {!q_function} on (0, 1), found by bisection.
+    Raises [Invalid_argument] outside (0, 1). *)
+
+val gaussian_pdf : float -> float
+(** Standard normal density. *)
+
+val gaussian_cdf : float -> float
+(** Standard normal cumulative distribution function. *)

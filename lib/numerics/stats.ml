@@ -1,0 +1,68 @@
+type summary = {
+  n : int;
+  mean : float;
+  variance : float;
+  std : float;
+  min : float;
+  max : float;
+}
+
+let summarize a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  (* Welford's online algorithm: numerically stable single pass. *)
+  let mean = ref 0. and m2 = ref 0. in
+  let mn = ref a.(0) and mx = ref a.(0) in
+  Array.iteri
+    (fun i x ->
+      let k = float_of_int (i + 1) in
+      let delta = x -. !mean in
+      mean := !mean +. (delta /. k);
+      m2 := !m2 +. (delta *. (x -. !mean));
+      if x < !mn then mn := x;
+      if x > !mx then mx := x)
+    a;
+  let variance = if n > 1 then !m2 /. float_of_int (n - 1) else 0. in
+  { n; mean = !mean; variance; std = sqrt variance; min = !mn; max = !mx }
+
+let mean a = (summarize a).mean
+let variance a = (summarize a).variance
+let std a = (summarize a).std
+
+let quantile a p =
+  if Array.length a = 0 then invalid_arg "Stats.quantile: empty sample";
+  if p < 0. || p > 1. then invalid_arg "Stats.quantile: p outside [0,1]";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = p *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) in
+  let hi = min (n - 1) (lo + 1) in
+  let frac = pos -. float_of_int lo in
+  ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let median a = quantile a 0.5
+
+let confidence_interval_95 a =
+  let s = summarize a in
+  let half = 1.959963985 *. s.std /. sqrt (float_of_int s.n) in
+  (s.mean -. half, s.mean +. half)
+
+let histogram ~bins a =
+  if bins < 1 then invalid_arg "Stats.histogram: bins < 1";
+  let s = summarize a in
+  let width =
+    if s.max > s.min then (s.max -. s.min) /. float_of_int bins else 1.
+  in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let i = int_of_float ((x -. s.min) /. width) in
+      let i = if i >= bins then bins - 1 else if i < 0 then 0 else i in
+      counts.(i) <- counts.(i) + 1)
+    a;
+  Array.mapi
+    (fun i c ->
+      let lo = s.min +. (float_of_int i *. width) in
+      (lo, lo +. width, c))
+    counts

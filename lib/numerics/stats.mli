@@ -1,0 +1,36 @@
+(** Descriptive statistics and Monte-Carlo confidence intervals. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  variance : float;  (** unbiased sample variance (n-1 denominator) *)
+  std : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** [summarize a] computes all fields in one pass (Welford's algorithm).
+    Raises [Invalid_argument] on an empty array. *)
+
+val mean : float array -> float
+
+val variance : float array -> float
+(** Unbiased sample variance; 0. for singleton samples. *)
+
+val std : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile a p] is the [p]-quantile ([0 <= p <= 1]) using linear
+    interpolation between order statistics. *)
+
+val median : float array -> float
+
+val confidence_interval_95 : float array -> float * float
+(** [confidence_interval_95 a] is the normal-approximation 95% confidence
+    interval for the mean of the sample. *)
+
+val histogram : bins:int -> float array -> (float * float * int) array
+(** [histogram ~bins a] partitions the sample range into [bins] equal-width
+    cells and returns [(lo, hi, count)] per cell. The final cell is closed
+    on the right. *)

@@ -1,0 +1,19 @@
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+let zero = { x = 0.; y = 0. }
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+let scale k a = { x = k *. a.x; y = k *. a.y }
+let dot a b = (a.x *. b.x) +. (a.y *. b.y)
+let cross a b = (a.x *. b.y) -. (a.y *. b.x)
+let norm a = sqrt (dot a a)
+let dist a b = norm (sub a b)
+let orient a b c = cross (sub b a) (sub c a)
+
+let lerp a b t = add (scale (1. -. t) a) (scale t b)
+
+let equal ?(eps = 1e-12) a b =
+  Float_utils.approx_equal ~eps a.x b.x && Float_utils.approx_equal ~eps a.y b.y
+
+let pp fmt a = Format.fprintf fmt "(%g, %g)" a.x a.y

@@ -1,0 +1,27 @@
+(** Points in the plane; used for rate-region geometry. *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+val zero : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val dot : t -> t -> float
+
+val cross : t -> t -> float
+(** [cross u v] is the z-component of the 3-D cross product, i.e. the
+    signed parallelogram area. *)
+
+val norm : t -> float
+val dist : t -> t -> float
+
+val orient : t -> t -> t -> float
+(** [orient a b c] is positive when [a], [b], [c] make a counter-clockwise
+    turn, negative for clockwise, zero when collinear. *)
+
+val lerp : t -> t -> float -> t
+(** [lerp a b t] is the point a fraction [t] of the way from [a] to [b]. *)
+
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

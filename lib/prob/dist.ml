@@ -1,0 +1,39 @@
+let two_pi = 2. *. Float.pi
+
+let standard_normal rng =
+  (* Box-Muller; u1 must be strictly positive for the log *)
+  let rec positive_uniform () =
+    let u = Rng.float rng in
+    if u > 0. then u else positive_uniform ()
+  in
+  let u1 = positive_uniform () in
+  let u2 = Rng.float rng in
+  sqrt (-2. *. log u1) *. cos (two_pi *. u2)
+
+let normal rng ~mean ~std = mean +. (std *. standard_normal rng)
+
+let complex_normal rng ~variance =
+  let std = sqrt (variance /. 2.) in
+  (normal rng ~mean:0. ~std, normal rng ~mean:0. ~std)
+
+let exponential rng ~rate =
+  if rate <= 0. then invalid_arg "Dist.exponential: rate must be positive";
+  let rec positive_uniform () =
+    let u = Rng.float rng in
+    if u > 0. then u else positive_uniform ()
+  in
+  -.log (positive_uniform ()) /. rate
+
+let rayleigh rng ~sigma =
+  if sigma <= 0. then invalid_arg "Dist.rayleigh: sigma must be positive";
+  let re, im = complex_normal rng ~variance:(2. *. sigma *. sigma) in
+  sqrt ((re *. re) +. (im *. im))
+
+let exponential_power_gain rng ~mean =
+  if mean <= 0. then
+    invalid_arg "Dist.exponential_power_gain: mean must be positive";
+  exponential rng ~rate:(1. /. mean)
+
+let uniform_int rng ~lo ~hi =
+  if hi < lo then invalid_arg "Dist.uniform_int: hi < lo";
+  lo + Rng.int rng (hi - lo + 1)

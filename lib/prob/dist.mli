@@ -1,0 +1,26 @@
+(** Sampling from the distributions used by the channel model. *)
+
+val normal : Rng.t -> mean:float -> std:float -> float
+(** Gaussian sample via the Box–Muller transform. *)
+
+val standard_normal : Rng.t -> float
+
+val complex_normal : Rng.t -> variance:float -> float * float
+(** Circularly-symmetric complex Gaussian: real and imaginary parts are
+    independent N(0, variance/2), so the squared magnitude has mean
+    [variance]. This models a quasi-static Rayleigh-fading channel gain. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** Exponential with rate [rate] (mean [1/rate]). *)
+
+val rayleigh : Rng.t -> sigma:float -> float
+(** Rayleigh with scale [sigma]; the magnitude of a complex normal with
+    per-component std [sigma]. *)
+
+val exponential_power_gain : Rng.t -> mean:float -> float
+(** Squared magnitude of a Rayleigh-fading gain with mean power [mean]
+    — i.e. an exponential with mean [mean]. This is the distribution of
+    [G_ij] in the paper's quasi-static fading model. *)
+
+val uniform_int : Rng.t -> lo:int -> hi:int -> int
+(** Uniform integer in [[lo, hi]] inclusive. *)

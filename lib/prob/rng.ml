@@ -1,0 +1,44 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 step (Steele, Lea, Flood 2014): full 2^64 period, passes
+   BigCrush, and trivially supports stream splitting. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed_bits = next_int64 t in
+  { state = seed_bits }
+
+let float t =
+  (* top 53 bits -> [0, 1) *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float_range t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* rejection sampling to avoid modulo bias *)
+  let n64 = Int64.of_int n in
+  let rec draw () =
+    let bits = Int64.shift_right_logical (next_int64 t) 1 in
+    let v = Int64.rem bits n64 in
+    if Int64.sub bits v > Int64.sub Int64.max_int (Int64.sub n64 1L) then
+      draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t ~p = float t < p

@@ -1,0 +1,184 @@
+(* Tests for the Gaussian channel model. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let test_awgn_c () =
+  check_float "C(0)" 0. (Channel.Awgn.c 0.);
+  check_float "C(1)" 1. (Channel.Awgn.c 1.);
+  check_float "C(3)" 2. (Channel.Awgn.c 3.);
+  check_float "C(15)" 4. (Channel.Awgn.c 15.)
+
+let test_awgn_c_inv () =
+  List.iter
+    (fun r -> check_float ~eps:1e-9 "c_inv round trip" r (Channel.Awgn.c (Channel.Awgn.c_inv r)))
+    [ 0.; 0.5; 1.; 3.7 ]
+
+let test_awgn_mac_sum () =
+  check_float "mac_sum" (Channel.Awgn.c 7.) (Channel.Awgn.mac_sum 3. 4.)
+
+let test_awgn_invalid () =
+  Alcotest.check_raises "negative snr" (Invalid_argument "Awgn.c: negative SNR")
+    (fun () -> ignore (Channel.Awgn.c (-1.)))
+
+let test_gains_db () =
+  let g = Channel.Gains.of_db ~g_ab:0. ~g_ar:10. ~g_br:20. in
+  check_float "ab" 1. g.Channel.Gains.g_ab;
+  check_float "ar" 10. g.Channel.Gains.g_ar;
+  check_float "br" 100. g.Channel.Gains.g_br;
+  let ab, ar, br = Channel.Gains.to_db g in
+  check_float "ab db" 0. ab;
+  check_float "ar db" 10. ar;
+  check_float "br db" 20. br
+
+let test_gains_paper_fig4 () =
+  let g = Channel.Gains.paper_fig4 in
+  Alcotest.(check bool) "paper ordering" true
+    (Channel.Gains.satisfies_paper_ordering g);
+  let ab, ar, br = Channel.Gains.to_db g in
+  check_float ~eps:1e-9 "ab" 0. ab;
+  check_float ~eps:1e-9 "ar" 5. ar;
+  check_float ~eps:1e-9 "br" 7. br
+
+let test_gains_swap () =
+  let g = Channel.Gains.of_db ~g_ab:0. ~g_ar:5. ~g_br:7. in
+  let s = Channel.Gains.swap_terminals g in
+  check_float "swapped ar" g.Channel.Gains.g_br s.Channel.Gains.g_ar;
+  check_float "swapped br" g.Channel.Gains.g_ar s.Channel.Gains.g_br;
+  check_float "ab unchanged" g.Channel.Gains.g_ab s.Channel.Gains.g_ab
+
+let test_gains_invalid () =
+  Alcotest.check_raises "negative" (Invalid_argument "Gains.make: negative power gain")
+    (fun () -> ignore (Channel.Gains.make ~g_ab:(-1.) ~g_ar:1. ~g_br:1.))
+
+let test_pathloss_midpoint () =
+  let pl = Channel.Pathloss.make ~exponent:3. () in
+  let g = Channel.Pathloss.gains_on_line pl ~relay_position:0.5 in
+  (* 0.5^-3 = 8 -> ~9.03 dB *)
+  check_float ~eps:1e-6 "ar" 8. g.Channel.Gains.g_ar;
+  check_float ~eps:1e-6 "br" 8. g.Channel.Gains.g_br;
+  check_float ~eps:1e-6 "ab" 1. g.Channel.Gains.g_ab;
+  check_float ~eps:1e-6 "midpoint db" (Numerics.Float_utils.lin_to_db 8.)
+    (Channel.Pathloss.midpoint_gain_db pl)
+
+let test_pathloss_asymmetric () =
+  let pl = Channel.Pathloss.make ~exponent:2. () in
+  let g = Channel.Pathloss.gains_on_line pl ~relay_position:0.25 in
+  check_float ~eps:1e-9 "ar" 16. g.Channel.Gains.g_ar;
+  check_float ~eps:1e-9 "br" (1. /. (0.75 ** 2.)) g.Channel.Gains.g_br
+
+let test_pathloss_planar_matches_line () =
+  let pl = Channel.Pathloss.make ~exponent:3. () in
+  let on_line = Channel.Pathloss.gains_on_line pl ~relay_position:0.3 in
+  let planar = Channel.Pathloss.gains_at pl ~relay_xy:(0.3, 0.) in
+  check_float ~eps:1e-9 "ar" on_line.Channel.Gains.g_ar planar.Channel.Gains.g_ar;
+  check_float ~eps:1e-9 "br" on_line.Channel.Gains.g_br planar.Channel.Gains.g_br
+
+let test_pathloss_offline_weaker () =
+  (* moving the relay off the segment weakens both relay links *)
+  let pl = Channel.Pathloss.make ~exponent:3. () in
+  let on_line = Channel.Pathloss.gains_at pl ~relay_xy:(0.5, 0.) in
+  let off = Channel.Pathloss.gains_at pl ~relay_xy:(0.5, 0.4) in
+  Alcotest.(check bool) "ar weaker" true
+    (off.Channel.Gains.g_ar < on_line.Channel.Gains.g_ar);
+  Alcotest.(check bool) "br weaker" true
+    (off.Channel.Gains.g_br < on_line.Channel.Gains.g_br)
+
+let test_pathloss_invalid () =
+  let pl = Channel.Pathloss.make ~exponent:3. () in
+  Alcotest.check_raises "relay at terminal"
+    (Invalid_argument "Pathloss.gains_on_line: relay must lie strictly between a and b")
+    (fun () -> ignore (Channel.Pathloss.gains_on_line pl ~relay_position:0.))
+
+let test_fading_static () =
+  let g = Channel.Gains.paper_fig4 in
+  let f = Channel.Fading.static g in
+  for _ = 1 to 5 do
+    let d = Channel.Fading.draw f in
+    check_float "static ab" g.Channel.Gains.g_ab d.Channel.Gains.g_ab;
+    check_float "static ar" g.Channel.Gains.g_ar d.Channel.Gains.g_ar
+  done
+
+let test_fading_mean_power () =
+  let mean = Channel.Gains.of_db ~g_ab:0. ~g_ar:5. ~g_br:7. in
+  let f = Channel.Fading.create ~rng_seed:7 ~mean () in
+  let n = 50_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. (Channel.Fading.draw f).Channel.Gains.g_ar
+  done;
+  let avg = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean matches path loss" true
+    (abs_float (avg -. mean.Channel.Gains.g_ar) /. mean.Channel.Gains.g_ar < 0.03)
+
+let test_fading_expected_over_blocks () =
+  let mean = Channel.Gains.of_db ~g_ab:0. ~g_ar:0. ~g_br:0. in
+  let f = Channel.Fading.create ~rng_seed:11 ~mean () in
+  (* ergodic direct-link rate E[C(G)] for exp(1) gain at P=1:
+     E[log2(1+G)] = e * E1(1) / ln 2 ~ 0.8578 bits *)
+  let avg =
+    Channel.Fading.expected_over_blocks f ~blocks:200_000 (fun g ->
+        Channel.Awgn.c g.Channel.Gains.g_ab)
+  in
+  Alcotest.(check bool) "ergodic rate near 0.8578" true
+    (abs_float (avg -. 0.8578) < 0.01)
+
+let test_fading_deterministic_seed () =
+  let mean = Channel.Gains.paper_fig4 in
+  let f1 = Channel.Fading.create ~rng_seed:3 ~mean () in
+  let f2 = Channel.Fading.create ~rng_seed:3 ~mean () in
+  for _ = 1 to 20 do
+    let a = Channel.Fading.draw f1 and b = Channel.Fading.draw f2 in
+    check_float "same draw" a.Channel.Gains.g_br b.Channel.Gains.g_br
+  done
+
+let prop_pathloss_monotone =
+  QCheck.Test.make ~count:100
+    ~name:"closer relay position strengthens the a-r link"
+    QCheck.(pair (float_range 0.05 0.45) (float_range 2. 4.))
+    (fun (d, alpha) ->
+      let pl = Channel.Pathloss.make ~exponent:alpha () in
+      let near = Channel.Pathloss.gains_on_line pl ~relay_position:d in
+      let far = Channel.Pathloss.gains_on_line pl ~relay_position:(d +. 0.5) in
+      near.Channel.Gains.g_ar > far.Channel.Gains.g_ar
+      && near.Channel.Gains.g_br < far.Channel.Gains.g_br)
+
+let prop_awgn_c_monotone =
+  QCheck.Test.make ~count:100 ~name:"C is increasing and concave-ish"
+    QCheck.(pair (float_range 0. 50.) (float_range 0.01 10.))
+    (fun (x, d) ->
+      let c = Channel.Awgn.c in
+      c (x +. d) > c x && c (x +. d) -. c x <= c d +. 1e-9)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_pathloss_monotone; prop_awgn_c_monotone ]
+
+let suites =
+  [ ( "channel.awgn",
+      [ Alcotest.test_case "C values" `Quick test_awgn_c;
+        Alcotest.test_case "C inverse" `Quick test_awgn_c_inv;
+        Alcotest.test_case "MAC sum" `Quick test_awgn_mac_sum;
+        Alcotest.test_case "invalid" `Quick test_awgn_invalid;
+      ] );
+    ( "channel.gains",
+      [ Alcotest.test_case "dB round trip" `Quick test_gains_db;
+        Alcotest.test_case "paper fig4" `Quick test_gains_paper_fig4;
+        Alcotest.test_case "swap terminals" `Quick test_gains_swap;
+        Alcotest.test_case "invalid" `Quick test_gains_invalid;
+      ] );
+    ( "channel.pathloss",
+      [ Alcotest.test_case "midpoint" `Quick test_pathloss_midpoint;
+        Alcotest.test_case "asymmetric" `Quick test_pathloss_asymmetric;
+        Alcotest.test_case "planar = line" `Quick test_pathloss_planar_matches_line;
+        Alcotest.test_case "off-line weaker" `Quick test_pathloss_offline_weaker;
+        Alcotest.test_case "invalid" `Quick test_pathloss_invalid;
+      ] );
+    ( "channel.fading",
+      [ Alcotest.test_case "static" `Quick test_fading_static;
+        Alcotest.test_case "mean power" `Quick test_fading_mean_power;
+        Alcotest.test_case "ergodic average" `Slow test_fading_expected_over_blocks;
+        Alcotest.test_case "deterministic seed" `Quick test_fading_deterministic_seed;
+      ] );
+    ("channel.properties", qcheck_cases);
+  ]

@@ -1,0 +1,343 @@
+(* Tests for the terminal plotting and table rendering library. *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  nl = 0 || scan 0
+
+(* ------------------------------------------------------------------ *)
+(* Canvas                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_canvas_plot_get () =
+  let c = Chart.Canvas.create ~width:10 ~height:5 in
+  Chart.Canvas.plot c ~x:3 ~y:2 '*';
+  Alcotest.(check char) "get" '*' (Chart.Canvas.get c ~x:3 ~y:2);
+  Alcotest.(check char) "blank elsewhere" ' ' (Chart.Canvas.get c ~x:4 ~y:2)
+
+let test_canvas_clipping () =
+  let c = Chart.Canvas.create ~width:4 ~height:4 in
+  (* out-of-range plots are silently ignored *)
+  Chart.Canvas.plot c ~x:(-1) ~y:0 'x';
+  Chart.Canvas.plot c ~x:0 ~y:99 'x';
+  Alcotest.(check char) "oob get blank" ' ' (Chart.Canvas.get c ~x:(-1) ~y:0)
+
+let test_canvas_origin_is_bottom_left () =
+  let c = Chart.Canvas.create ~width:3 ~height:2 in
+  Chart.Canvas.plot c ~x:0 ~y:0 'b';
+  Chart.Canvas.plot c ~x:0 ~y:1 't';
+  let rendered = Chart.Canvas.render c in
+  (match String.split_on_char '\n' rendered with
+  | [ top; bottom ] ->
+    Alcotest.(check char) "top row" 't' top.[0];
+    Alcotest.(check char) "bottom row" 'b' bottom.[0]
+  | _ -> Alcotest.fail "expected two rows")
+
+let test_canvas_lines () =
+  let c = Chart.Canvas.create ~width:5 ~height:5 in
+  Chart.Canvas.line c ~x0:0 ~y0:0 ~x1:4 ~y1:4 '.';
+  for i = 0 to 4 do
+    Alcotest.(check char) "diagonal" '.' (Chart.Canvas.get c ~x:i ~y:i)
+  done;
+  let c2 = Chart.Canvas.create ~width:5 ~height:5 in
+  Chart.Canvas.hline c2 ~y:2 '-';
+  Chart.Canvas.vline c2 ~x:2 '|';
+  Alcotest.(check char) "hline" '-' (Chart.Canvas.get c2 ~x:0 ~y:2);
+  Alcotest.(check char) "vline" '|' (Chart.Canvas.get c2 ~x:2 ~y:0)
+
+let test_canvas_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Canvas.create: empty canvas")
+    (fun () -> ignore (Chart.Canvas.create ~width:0 ~height:3))
+
+(* ------------------------------------------------------------------ *)
+(* Line_chart                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let series label points = { Chart.Line_chart.label; points }
+
+let test_line_chart_renders () =
+  let out =
+    Chart.Line_chart.render
+      [ series "rising" [ (0., 0.); (1., 1.); (2., 4.) ];
+        series "flat" [ (0., 2.); (2., 2.) ];
+      ]
+  in
+  Alcotest.(check bool) "legend has labels" true (contains ~needle:"rising" out);
+  Alcotest.(check bool) "markers present" true (contains ~needle:"*" out);
+  Alcotest.(check bool) "second marker" true (contains ~needle:"+" out)
+
+let test_line_chart_empty () =
+  Alcotest.(check string) "placeholder" "(no data)" (Chart.Line_chart.render []);
+  Alcotest.(check string) "empty series" "(no data)"
+    (Chart.Line_chart.render [ series "void" [] ])
+
+let test_line_chart_single_point () =
+  (* degenerate range must not divide by zero *)
+  let out = Chart.Line_chart.render [ series "dot" [ (1., 1.) ] ] in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_line_chart_zero_origin () =
+  let cfg =
+    { Chart.Line_chart.default_config with Chart.Line_chart.width = 30; height = 8 }
+  in
+  let out =
+    Chart.Line_chart.render_xy ~config:cfg [ series "s" [ (5., 5.); (6., 6.) ] ]
+  in
+  (* the zero-anchored frame must show 0.000 on both axes *)
+  Alcotest.(check bool) "y axis from zero" true (contains ~needle:"0.000" out)
+
+let test_line_chart_title_labels () =
+  let cfg =
+    { Chart.Line_chart.default_config with
+      Chart.Line_chart.title = "My Title";
+      xlabel = "the x";
+      ylabel = "the y";
+    }
+  in
+  let out = Chart.Line_chart.render ~config:cfg [ series "s" [ (0., 0.); (1., 1.) ] ] in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains ~needle out))
+    [ "My Title"; "the x"; "the y" ]
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_alignment () =
+  let out =
+    Chart.Table.render ~headers:[ "name"; "value" ]
+      ~rows:[ [ "alpha"; "1" ]; [ "b"; "22222" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | header :: rule :: _ ->
+    Alcotest.(check bool) "header" true (contains ~needle:"name" header);
+    Alcotest.(check bool) "rule dashes" true (contains ~needle:"----" rule)
+  | _ -> Alcotest.fail "too few lines");
+  (* all non-empty lines have equal width (column alignment) *)
+  let widths =
+    List.filter_map
+      (fun l -> if l = "" then None else Some (String.length l))
+      lines
+  in
+  (match widths with
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "aligned" w w') rest
+  | [] -> Alcotest.fail "no lines")
+
+let test_table_short_rows_padded () =
+  let out = Chart.Table.render ~headers:[ "a"; "b" ] ~rows:[ [ "only" ] ] in
+  Alcotest.(check bool) "renders" true (contains ~needle:"only" out)
+
+let test_table_long_row_rejected () =
+  Alcotest.check_raises "too long"
+    (Invalid_argument "Table: row longer than header") (fun () ->
+      ignore (Chart.Table.render ~headers:[ "a" ] ~rows:[ [ "1"; "2" ] ]))
+
+let test_markdown_table () =
+  let out =
+    Chart.Table.render_markdown ~headers:[ "h1"; "h2" ] ~rows:[ [ "x"; "y" ] ]
+  in
+  Alcotest.(check bool) "pipes" true (contains ~needle:"| x | y |" out);
+  Alcotest.(check bool) "separator" true (contains ~needle:"| --- | --- |" out)
+
+let test_csv_escaping () =
+  let out =
+    Chart.Table.render_csv ~headers:[ "plain"; "tricky" ]
+      ~rows:[ [ "v"; "a,b \"quoted\"" ] ]
+  in
+  Alcotest.(check bool) "field quoted" true
+    (contains ~needle:"\"a,b \"\"quoted\"\"\"" out)
+
+let test_csv_round_shape () =
+  let out = Chart.Table.render_csv ~headers:[ "x"; "y" ] ~rows:[ [ "1"; "2" ] ] in
+  Alcotest.(check string) "exact" "x,y\n1,2\n" out
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_figure () =
+  let fig = Bidir.Figures.fig3 ~samples:5 () in
+  let out = Report.render_figure fig in
+  Alcotest.(check bool) "has id" true (contains ~needle:"[fig3]" out);
+  Alcotest.(check bool) "has HBC legend" true (contains ~needle:"HBC" out)
+
+let test_report_table () =
+  let out = Report.render_table (Bidir.Figures.gap_table ()) in
+  Alcotest.(check bool) "has title" true (contains ~needle:"[gap]" out);
+  Alcotest.(check bool) "has TDBC rows" true (contains ~needle:"TDBC" out)
+
+let test_report_csv () =
+  let fig = Bidir.Figures.fig3 ~samples:3 () in
+  let csv = Report.figure_csv fig in
+  (match String.split_on_char '\n' csv with
+  | header :: _ -> Alcotest.(check string) "header" "series,x,y" header
+  | [] -> Alcotest.fail "empty csv");
+  (* 5 protocols x 3 samples + header + trailing newline *)
+  Alcotest.(check int) "row count" 17
+    (List.length (String.split_on_char '\n' csv))
+
+let suites =
+  [ ( "chart.canvas",
+      [ Alcotest.test_case "plot/get" `Quick test_canvas_plot_get;
+        Alcotest.test_case "clipping" `Quick test_canvas_clipping;
+        Alcotest.test_case "origin bottom-left" `Quick test_canvas_origin_is_bottom_left;
+        Alcotest.test_case "lines" `Quick test_canvas_lines;
+        Alcotest.test_case "invalid" `Quick test_canvas_invalid;
+      ] );
+    ( "chart.line_chart",
+      [ Alcotest.test_case "renders" `Quick test_line_chart_renders;
+        Alcotest.test_case "empty" `Quick test_line_chart_empty;
+        Alcotest.test_case "single point" `Quick test_line_chart_single_point;
+        Alcotest.test_case "zero origin" `Quick test_line_chart_zero_origin;
+        Alcotest.test_case "title and labels" `Quick test_line_chart_title_labels;
+      ] );
+    ( "chart.table",
+      [ Alcotest.test_case "alignment" `Quick test_table_alignment;
+        Alcotest.test_case "short rows padded" `Quick test_table_short_rows_padded;
+        Alcotest.test_case "long row rejected" `Quick test_table_long_row_rejected;
+        Alcotest.test_case "markdown" `Quick test_markdown_table;
+        Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+        Alcotest.test_case "csv shape" `Quick test_csv_round_shape;
+      ] );
+    ( "report",
+      [ Alcotest.test_case "figure" `Quick test_report_figure;
+        Alcotest.test_case "table" `Quick test_report_table;
+        Alcotest.test_case "csv" `Quick test_report_csv;
+      ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Heatmap                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_heatmap_render () =
+  let map =
+    Chart.Heatmap.tabulate
+      ~f:(fun ~x ~y -> x +. y > 1.)
+      ~glyph:(fun b -> if b then '#' else '.')
+      ~x_axis:[| 0.; 0.5; 1. |] ~y_axis:[| 0.; 1. |] ~title:"halves"
+      ~xlabel:"x" ~ylabel:"y"
+      ~legend:[ ('#', "above"); ('.', "below") ]
+  in
+  let out = Chart.Heatmap.render map in
+  Alcotest.(check bool) "title" true (contains ~needle:"halves" out);
+  Alcotest.(check bool) "legend" true (contains ~needle:"# above" out);
+  Alcotest.(check bool) "both glyphs" true
+    (contains ~needle:"#" out && contains ~needle:"." out)
+
+let test_heatmap_orientation () =
+  (* row 0 is the bottom: a map marking only the lowest row must show
+     its glyph on the LAST rendered grid line *)
+  let map =
+    Chart.Heatmap.tabulate
+      ~f:(fun ~x:_ ~y -> y < 0.5)
+      ~glyph:(fun b -> if b then 'b' else '-')
+      ~x_axis:[| 0.; 1. |] ~y_axis:[| 0.; 1. |] ~title:"" ~xlabel:""
+      ~ylabel:"" ~legend:[]
+  in
+  let out = Chart.Heatmap.render map in
+  let grid_lines =
+    List.filter (fun l -> contains ~needle:"|" l)
+      (String.split_on_char '\n' out)
+  in
+  (match grid_lines with
+  | [ top; bottom ] ->
+    Alcotest.(check bool) "top has no b" false (contains ~needle:"b" top);
+    Alcotest.(check bool) "bottom has b" true (contains ~needle:"b" bottom)
+  | _ -> Alcotest.fail "expected two grid rows")
+
+let test_heatmap_invalid () =
+  let bad =
+    { Chart.Heatmap.cells = [| [| 0 |] |];
+      glyph = (fun _ -> 'x');
+      x_axis = [| 0.; 1. |];
+      y_axis = [| 0. |];
+      title = "";
+      xlabel = "";
+      ylabel = "";
+      legend = [];
+    }
+  in
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Heatmap: column count does not match the x axis")
+    (fun () -> ignore (Chart.Heatmap.render bad))
+
+let test_protocol_map () =
+  let out = Report.protocol_map ~positions:9 ~powers:5 () in
+  Alcotest.(check bool) "legend names TDBC" true (contains ~needle:"T TDBC" out);
+  (* at these parameters both MABC and TDBC regimes appear *)
+  Alcotest.(check bool) "M appears" true (contains ~needle:"M" out);
+  Alcotest.(check bool) "T appears" true (contains ~needle:"T" out)
+
+let heatmap_cases =
+  [ Alcotest.test_case "render" `Quick test_heatmap_render;
+    Alcotest.test_case "orientation" `Quick test_heatmap_orientation;
+    Alcotest.test_case "invalid" `Quick test_heatmap_invalid;
+    Alcotest.test_case "protocol map" `Quick test_protocol_map;
+  ]
+
+let suites = suites @ [ ("chart.heatmap", heatmap_cases) ]
+
+(* ------------------------------------------------------------------ *)
+(* Svg                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let count_needle ~needle haystack =
+  let nl = String.length needle in
+  let rec go i acc =
+    if i + nl > String.length haystack then acc
+    else if String.sub haystack i nl = needle then go (i + nl) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_svg_document () =
+  let out =
+    Chart.Svg.render
+      [ series "one" [ (0., 0.); (1., 1.) ];
+        series "two" [ (0., 1.); (1., 0.) ];
+      ]
+  in
+  Alcotest.(check bool) "svg root" true (contains ~needle:"<svg" out);
+  Alcotest.(check bool) "closes" true (contains ~needle:"</svg>" out);
+  Alcotest.(check int) "one polyline per series" 2
+    (count_needle ~needle:"<polyline" out);
+  Alcotest.(check int) "markers" 4 (count_needle ~needle:"<circle" out);
+  Alcotest.(check bool) "legend" true (contains ~needle:">two<" out)
+
+let test_svg_empty () =
+  let out = Chart.Svg.render [] in
+  Alcotest.(check bool) "valid" true (contains ~needle:"<svg" out);
+  Alcotest.(check bool) "note" true (contains ~needle:"no data" out)
+
+let test_svg_escaping () =
+  let out = Chart.Svg.render [ series "a<&>b" [ (0., 0.); (1., 1.) ] ] in
+  Alcotest.(check bool) "escaped" true (contains ~needle:"a&lt;&amp;&gt;b" out);
+  Alcotest.(check bool) "no raw" false (contains ~needle:"a<&>b" out)
+
+let test_svg_write_file () =
+  let path = Filename.temp_file "bidir_test" ".svg" in
+  Chart.Svg.write_file ~path [ series "s" [ (0., 0.); (2., 4.) ] ];
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "non-empty file" true (len > 200)
+
+let test_report_svg () =
+  let out = Report.figure_svg (Bidir.Figures.fig3_snr ~samples:4 ()) in
+  Alcotest.(check int) "five protocol polylines" 5
+    (count_needle ~needle:"<polyline" out);
+  Alcotest.(check bool) "axis label" true (contains ~needle:"P (dB)" out)
+
+let svg_cases =
+  [ Alcotest.test_case "document" `Quick test_svg_document;
+    Alcotest.test_case "empty" `Quick test_svg_empty;
+    Alcotest.test_case "escaping" `Quick test_svg_escaping;
+    Alcotest.test_case "write file" `Quick test_svg_write_file;
+    Alcotest.test_case "report svg" `Quick test_report_svg;
+  ]
+
+let suites = suites @ [ ("chart.svg", svg_cases) ]

@@ -1,0 +1,337 @@
+(* Tests for the simplex LP solver. *)
+
+let check_float ?(eps = 1e-7) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let solve_max c constrs = Linprog.Simplex.maximize ~c ~constrs
+
+let expect_optimal = function
+  | Linprog.Simplex.Optimal s -> s
+  | Linprog.Simplex.Unbounded -> Alcotest.fail "unexpected: unbounded"
+  | Linprog.Simplex.Infeasible -> Alcotest.fail "unexpected: infeasible"
+
+let le = Linprog.Simplex.Le
+let ge = Linprog.Simplex.Ge
+let eq = Linprog.Simplex.Eq
+let c_ = Linprog.Simplex.constr
+
+(* ------------------------------------------------------------------ *)
+(* Textbook instances                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_basic_2d () =
+  (* max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), obj 36 *)
+  let s =
+    expect_optimal
+      (solve_max [| 3.; 5. |]
+         [ c_ [| 1.; 0. |] le 4.;
+           c_ [| 0.; 2. |] le 12.;
+           c_ [| 3.; 2. |] le 18.;
+         ])
+  in
+  check_float "objective" 36. s.Linprog.Simplex.objective;
+  check_float "x" 2. s.Linprog.Simplex.x.(0);
+  check_float "y" 6. s.Linprog.Simplex.x.(1)
+
+let test_equality_constraint () =
+  (* max x + y s.t. x + y = 5, x <= 3 -> obj 5 *)
+  let s =
+    expect_optimal
+      (solve_max [| 1.; 1. |]
+         [ c_ [| 1.; 1. |] eq 5.; c_ [| 1.; 0. |] le 3. ])
+  in
+  check_float "objective" 5. s.Linprog.Simplex.objective
+
+let test_ge_constraint () =
+  (* min x + 2y s.t. x + y >= 4, x <= 3, y <= 3 -> (3, 1), obj 5 *)
+  let s =
+    match
+      Linprog.Simplex.minimize ~c:[| 1.; 2. |]
+        ~constrs:
+          [ c_ [| 1.; 1. |] ge 4.;
+            c_ [| 1.; 0. |] le 3.;
+            c_ [| 0.; 1. |] le 3.;
+          ]
+    with
+    | Linprog.Simplex.Optimal s -> s
+    | _ -> Alcotest.fail "expected optimal"
+  in
+  check_float "objective" 5. s.Linprog.Simplex.objective;
+  check_float "x" 3. s.Linprog.Simplex.x.(0);
+  check_float "y" 1. s.Linprog.Simplex.x.(1)
+
+let test_unbounded () =
+  match solve_max [| 1.; 0. |] [ c_ [| 0.; 1. |] le 1. ] with
+  | Linprog.Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_infeasible () =
+  match
+    solve_max [| 1. |] [ c_ [| 1. |] le 1.; c_ [| 1. |] ge 2. ]
+  with
+  | Linprog.Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_negative_rhs () =
+  (* -x <= -2 means x >= 2; max -x -> x = 2 *)
+  let s = expect_optimal (solve_max [| -1. |] [ c_ [| -1. |] le (-2.) ]) in
+  check_float "objective" (-2.) s.Linprog.Simplex.objective
+
+let test_degenerate () =
+  (* degenerate vertex: three constraints meet at (1,1) *)
+  let s =
+    expect_optimal
+      (solve_max [| 1.; 1. |]
+         [ c_ [| 1.; 0. |] le 1.;
+           c_ [| 0.; 1. |] le 1.;
+           c_ [| 1.; 1. |] le 2.;
+         ])
+  in
+  check_float "objective" 2. s.Linprog.Simplex.objective
+
+let test_redundant_equalities () =
+  (* duplicated equality rows exercise the redundant-row drop *)
+  let s =
+    expect_optimal
+      (solve_max [| 1.; 1. |]
+         [ c_ [| 1.; 1. |] eq 3.;
+           c_ [| 1.; 1. |] eq 3.;
+           c_ [| 1.; 0. |] le 2.;
+         ])
+  in
+  check_float "objective" 3. s.Linprog.Simplex.objective
+
+let test_zero_objective () =
+  let s = expect_optimal (solve_max [| 0.; 0. |] [ c_ [| 1.; 1. |] le 1. ]) in
+  check_float "objective" 0. s.Linprog.Simplex.objective
+
+let test_feasible () =
+  Alcotest.(check bool) "feasible" true
+    (Linprog.Simplex.feasible ~nvars:2 ~constrs:[ c_ [| 1.; 1. |] le 1. ]);
+  Alcotest.(check bool) "infeasible" false
+    (Linprog.Simplex.feasible ~nvars:1
+       ~constrs:[ c_ [| 1. |] le 1.; c_ [| 1. |] ge 2. ])
+
+let test_klee_minty_3 () =
+  (* Klee-Minty cube in 3 dimensions: optimum is 5^3 / ... classic form:
+     max 100x1 + 10x2 + x3
+     s.t. x1 <= 1; 20x1 + x2 <= 100; 200x1 + 20x2 + x3 <= 10000
+     optimum 10000 at (0, 0, 10000) *)
+  let s =
+    expect_optimal
+      (solve_max [| 100.; 10.; 1. |]
+         [ c_ [| 1.; 0.; 0. |] le 1.;
+           c_ [| 20.; 1.; 0. |] le 100.;
+           c_ [| 200.; 20.; 1. |] le 10000.;
+         ])
+  in
+  check_float "objective" 10000. s.Linprog.Simplex.objective
+
+let test_phase_duration_shape () =
+  (* the exact LP shape used for MABC rate regions:
+     max Ra + Rb s.t. Ra <= 2 d1, Ra <= 3 d2, Rb <= 2 d1, Rb <= 3 d2,
+     Ra + Rb <= 3 d1, d1 + d2 = 1.
+     Substituting: optimal d1 solves 3 d1 = 2 * 3 (1 - d1)... the binding
+     constraints are Ra+Rb <= 3 d1 and Ra,Rb <= 3 d2 each. Sum rate =
+     min(3 d1, 6 (1 - d1) capped by per-user 2 d1 each: Ra+Rb <= 4 d1).
+     max over d1 of min(3 d1, 4 d1, 6(1-d1)) -> 3 d1 = 6 - 6 d1 ->
+     d1 = 2/3, sum = 2. *)
+  let s =
+    expect_optimal
+      (solve_max
+         [| 1.; 1.; 0.; 0. |] (* Ra Rb d1 d2 *)
+         [ c_ [| 1.; 0.; -2.; 0. |] le 0.;
+           c_ [| 1.; 0.; 0.; -3. |] le 0.;
+           c_ [| 0.; 1.; -2.; 0. |] le 0.;
+           c_ [| 0.; 1.; 0.; -3. |] le 0.;
+           c_ [| 1.; 1.; -3.; 0. |] le 0.;
+           c_ [| 0.; 0.; 1.; 1. |] eq 1.;
+         ])
+  in
+  check_float "sum rate" 2. s.Linprog.Simplex.objective;
+  check_float "d1" (2. /. 3.) s.Linprog.Simplex.x.(2)
+
+(* ------------------------------------------------------------------ *)
+(* Model layer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_model_basic () =
+  let m = Linprog.Model.create () in
+  let x = Linprog.Model.variable m "x" in
+  let y = Linprog.Model.variable m "y" in
+  Linprog.Model.add m ~name:"cap_x" [ (x, 1.) ] `Le 4.;
+  Linprog.Model.add m ~name:"cap_y" [ (y, 2.) ] `Le 12.;
+  Linprog.Model.add m ~name:"mix" [ (x, 3.); (y, 2.) ] `Le 18.;
+  Linprog.Model.objective m [ (x, 3.); (y, 5.) ];
+  (match Linprog.Model.solve m with
+  | Ok sol ->
+    check_float "objective" 36. (Linprog.Model.objective_value sol);
+    check_float "x" 2. (Linprog.Model.value sol x);
+    check_float "y" 6. (Linprog.Model.value sol y)
+  | Error _ -> Alcotest.fail "expected optimal");
+  Alcotest.(check int) "vars" 2 (Linprog.Model.num_vars m);
+  Alcotest.(check int) "constraints" 3 (Linprog.Model.num_constraints m);
+  Alcotest.(check string) "name" "x" (Linprog.Model.var_name m x)
+
+let test_model_duplicate_name () =
+  let m = Linprog.Model.create () in
+  let _ = Linprog.Model.variable m "x" in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Model.variable: duplicate variable name x") (fun () ->
+      ignore (Linprog.Model.variable m "x"))
+
+let test_model_repeated_terms () =
+  (* x + x <= 2 must mean 2x <= 2 *)
+  let m = Linprog.Model.create () in
+  let x = Linprog.Model.variable m "x" in
+  Linprog.Model.add m ~name:"double" [ (x, 1.); (x, 1.) ] `Le 2.;
+  Linprog.Model.objective m [ (x, 1.) ];
+  match Linprog.Model.solve m with
+  | Ok sol -> check_float "x" 1. (Linprog.Model.value sol x)
+  | Error _ -> Alcotest.fail "expected optimal"
+
+let test_model_infeasible () =
+  let m = Linprog.Model.create () in
+  let x = Linprog.Model.variable m "x" in
+  Linprog.Model.add m ~name:"lo" [ (x, 1.) ] `Ge 2.;
+  Linprog.Model.add m ~name:"hi" [ (x, 1.) ] `Le 1.;
+  Linprog.Model.objective m [ (x, 1.) ];
+  match Linprog.Model.solve m with
+  | Error `Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_model_solve_min () =
+  let m = Linprog.Model.create () in
+  let x = Linprog.Model.variable m "x" in
+  let y = Linprog.Model.variable m "y" in
+  Linprog.Model.add m ~name:"cover" [ (x, 1.); (y, 1.) ] `Ge 4.;
+  Linprog.Model.add m ~name:"cap_x" [ (x, 1.) ] `Le 3.;
+  Linprog.Model.add m ~name:"cap_y" [ (y, 1.) ] `Le 3.;
+  Linprog.Model.objective m [ (x, 1.); (y, 2.) ];
+  match Linprog.Model.solve_min m with
+  | Ok sol -> check_float "objective" 5. (Linprog.Model.objective_value sol)
+  | Error _ -> Alcotest.fail "expected optimal"
+
+(* ------------------------------------------------------------------ *)
+(* Properties: cross-check against brute-force vertex enumeration      *)
+(* ------------------------------------------------------------------ *)
+
+(* For 2-variable LPs with <= constraints (plus x,y >= 0 and generous
+   box bounds to keep things bounded), enumerate all candidate vertices
+   as intersections of constraint pairs and take the best feasible one. *)
+let brute_force_2d c constrs =
+  let lines =
+    (* each constraint as (a, b, rhs): a x + b y <= rhs *)
+    List.map
+      (fun ct ->
+        (ct.Linprog.Simplex.coeffs.(0), ct.Linprog.Simplex.coeffs.(1),
+         ct.Linprog.Simplex.rhs))
+      constrs
+    @ [ (-1., 0., 0.); (0., -1., 0.) ]
+  in
+  let feasible (x, y) =
+    x >= -1e-7 && y >= -1e-7
+    && List.for_all (fun (a, b, r) -> (a *. x) +. (b *. y) <= r +. 1e-6) lines
+  in
+  let candidates = ref [] in
+  let n = List.length lines in
+  let arr = Array.of_list lines in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a1, b1, r1 = arr.(i) and a2, b2, r2 = arr.(j) in
+      let det = (a1 *. b2) -. (a2 *. b1) in
+      if abs_float det > 1e-9 then begin
+        let x = ((r1 *. b2) -. (r2 *. b1)) /. det in
+        let y = ((a1 *. r2) -. (a2 *. r1)) /. det in
+        if feasible (x, y) then candidates := (x, y) :: !candidates
+      end
+    done
+  done;
+  match !candidates with
+  | [] -> None
+  | pts ->
+    Some
+      (List.fold_left
+         (fun acc (x, y) -> Float.max acc ((c.(0) *. x) +. (c.(1) *. y)))
+         neg_infinity pts)
+
+let lp_2d_gen =
+  (* random bounded-feasible 2-D LP: positive coefficients guarantee
+     boundedness, rhs > 0 guarantees feasibility (origin works) *)
+  QCheck.(
+    pair
+      (pair (float_range 0.1 5.) (float_range 0.1 5.))
+      (list_of_size Gen.(int_range 1 6)
+         (triple (float_range 0.1 5.) (float_range 0.1 5.)
+            (float_range 0.5 20.))))
+
+let prop_simplex_matches_brute_force =
+  QCheck.Test.make ~count:300 ~name:"simplex = vertex enumeration (2D)"
+    lp_2d_gen (fun ((c1, c2), rows) ->
+      let constrs =
+        List.map (fun (a, b, r) -> c_ [| a; b |] le r) rows
+      in
+      let c = [| c1; c2 |] in
+      match (solve_max c constrs, brute_force_2d c constrs) with
+      | Linprog.Simplex.Optimal s, Some best ->
+        abs_float (s.Linprog.Simplex.objective -. best) < 1e-5
+      | Linprog.Simplex.Optimal _, None -> false
+      | _, _ -> false)
+
+let prop_solution_is_feasible =
+  QCheck.Test.make ~count:300 ~name:"optimal point satisfies constraints"
+    lp_2d_gen (fun ((c1, c2), rows) ->
+      let constrs = List.map (fun (a, b, r) -> c_ [| a; b |] le r) rows in
+      match solve_max [| c1; c2 |] constrs with
+      | Linprog.Simplex.Optimal s ->
+        let x = s.Linprog.Simplex.x in
+        x.(0) >= -1e-7 && x.(1) >= -1e-7
+        && List.for_all
+             (fun (a, b, r) -> (a *. x.(0)) +. (b *. x.(1)) <= r +. 1e-6)
+             rows
+      | _ -> false)
+
+let prop_duality_bound =
+  (* weak duality sanity: scaling the objective scales the optimum *)
+  QCheck.Test.make ~count:100 ~name:"objective scaling" lp_2d_gen
+    (fun ((c1, c2), rows) ->
+      let constrs = List.map (fun (a, b, r) -> c_ [| a; b |] le r) rows in
+      match
+        (solve_max [| c1; c2 |] constrs, solve_max [| 2. *. c1; 2. *. c2 |] constrs)
+      with
+      | Linprog.Simplex.Optimal s1, Linprog.Simplex.Optimal s2 ->
+        abs_float ((2. *. s1.Linprog.Simplex.objective) -. s2.Linprog.Simplex.objective)
+        < 1e-5
+      | _ -> false)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_simplex_matches_brute_force;
+      prop_solution_is_feasible;
+      prop_duality_bound;
+    ]
+
+let suites =
+  [ ( "linprog.simplex",
+      [ Alcotest.test_case "basic 2d" `Quick test_basic_2d;
+        Alcotest.test_case "equality" `Quick test_equality_constraint;
+        Alcotest.test_case "ge constraint" `Quick test_ge_constraint;
+        Alcotest.test_case "unbounded" `Quick test_unbounded;
+        Alcotest.test_case "infeasible" `Quick test_infeasible;
+        Alcotest.test_case "negative rhs" `Quick test_negative_rhs;
+        Alcotest.test_case "degenerate vertex" `Quick test_degenerate;
+        Alcotest.test_case "redundant equalities" `Quick test_redundant_equalities;
+        Alcotest.test_case "zero objective" `Quick test_zero_objective;
+        Alcotest.test_case "feasibility probe" `Quick test_feasible;
+        Alcotest.test_case "klee-minty 3" `Quick test_klee_minty_3;
+        Alcotest.test_case "phase-duration LP shape" `Quick test_phase_duration_shape;
+      ] );
+    ( "linprog.model",
+      [ Alcotest.test_case "basic" `Quick test_model_basic;
+        Alcotest.test_case "duplicate name" `Quick test_model_duplicate_name;
+        Alcotest.test_case "repeated terms" `Quick test_model_repeated_terms;
+        Alcotest.test_case "infeasible" `Quick test_model_infeasible;
+        Alcotest.test_case "solve min" `Quick test_model_solve_min;
+      ] );
+    ("linprog.properties", qcheck_cases);
+  ]

@@ -1,0 +1,170 @@
+(* Tests for the PRNG and distribution sampling. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let test_determinism () =
+  let r1 = Prob.Rng.create ~seed:42 in
+  let r2 = Prob.Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prob.Rng.next_int64 r1)
+      (Prob.Rng.next_int64 r2)
+  done
+
+let test_different_seeds () =
+  let r1 = Prob.Rng.create ~seed:1 in
+  let r2 = Prob.Rng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" false
+    (Prob.Rng.next_int64 r1 = Prob.Rng.next_int64 r2)
+
+let test_copy_independent () =
+  let r = Prob.Rng.create ~seed:7 in
+  let c = Prob.Rng.copy r in
+  let a = Prob.Rng.next_int64 r in
+  let b = Prob.Rng.next_int64 c in
+  Alcotest.(check int64) "copy replays" a b
+
+let test_split_distinct () =
+  let r = Prob.Rng.create ~seed:7 in
+  let s = Prob.Rng.split r in
+  Alcotest.(check bool) "split differs from parent" false
+    (Prob.Rng.next_int64 r = Prob.Rng.next_int64 s)
+
+let test_float_range_bounds () =
+  let r = Prob.Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let x = Prob.Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_int_bounds () =
+  let r = Prob.Rng.create ~seed:4 in
+  for _ = 1 to 1000 do
+    let x = Prob.Rng.int r 7 in
+    Alcotest.(check bool) "in [0,7)" true (x >= 0 && x < 7)
+  done
+
+let test_int_invalid () =
+  let r = Prob.Rng.create ~seed:4 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Prob.Rng.int r 0))
+
+let test_int_uniformity () =
+  let r = Prob.Rng.create ~seed:5 in
+  let counts = Array.make 4 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let k = Prob.Rng.int r 4 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "frequency near 1/4" true
+        (abs_float (frac -. 0.25) < 0.02))
+    counts
+
+let test_bernoulli_frequency () =
+  let r = Prob.Rng.create ~seed:6 in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Prob.Rng.bernoulli r ~p:0.3 then incr hits
+  done;
+  let frac = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "freq near 0.3" true (abs_float (frac -. 0.3) < 0.01)
+
+let sample_stats ~n f =
+  let r = Prob.Rng.create ~seed:99 in
+  Numerics.Stats.summarize (Array.init n (fun _ -> f r))
+
+let test_normal_moments () =
+  let s = sample_stats ~n:100_000 (fun r -> Prob.Dist.normal r ~mean:2. ~std:3.) in
+  Alcotest.(check bool) "mean near 2" true (abs_float (s.Numerics.Stats.mean -. 2.) < 0.05);
+  Alcotest.(check bool) "std near 3" true (abs_float (s.Numerics.Stats.std -. 3.) < 0.05)
+
+let test_exponential_moments () =
+  let s = sample_stats ~n:100_000 (fun r -> Prob.Dist.exponential r ~rate:2.) in
+  Alcotest.(check bool) "mean near 0.5" true
+    (abs_float (s.Numerics.Stats.mean -. 0.5) < 0.01);
+  Alcotest.(check bool) "all positive" true (s.Numerics.Stats.min > 0.)
+
+let test_exponential_power_gain () =
+  (* mean power of the fading gain must match the requested mean *)
+  let s =
+    sample_stats ~n:100_000 (fun r -> Prob.Dist.exponential_power_gain r ~mean:3.)
+  in
+  Alcotest.(check bool) "mean near 3" true
+    (abs_float (s.Numerics.Stats.mean -. 3.) < 0.08)
+
+let test_complex_normal_power () =
+  let r = Prob.Rng.create ~seed:11 in
+  let n = 100_000 in
+  let powers =
+    Array.init n (fun _ ->
+        let re, im = Prob.Dist.complex_normal r ~variance:2. in
+        (re *. re) +. (im *. im))
+  in
+  let s = Numerics.Stats.summarize powers in
+  Alcotest.(check bool) "E|h|^2 near 2" true
+    (abs_float (s.Numerics.Stats.mean -. 2.) < 0.05)
+
+let test_rayleigh_moments () =
+  (* Rayleigh(sigma) mean = sigma sqrt(pi/2) *)
+  let s = sample_stats ~n:100_000 (fun r -> Prob.Dist.rayleigh r ~sigma:1.5) in
+  let expected = 1.5 *. sqrt (Float.pi /. 2.) in
+  Alcotest.(check bool) "mean matches" true
+    (abs_float (s.Numerics.Stats.mean -. expected) < 0.02)
+
+let test_uniform_int_bounds () =
+  let r = Prob.Rng.create ~seed:12 in
+  for _ = 1 to 1000 do
+    let x = Prob.Dist.uniform_int r ~lo:3 ~hi:9 in
+    Alcotest.(check bool) "in [3,9]" true (x >= 3 && x <= 9)
+  done
+
+let test_invalid_args () =
+  let r = Prob.Rng.create ~seed:13 in
+  Alcotest.check_raises "exp rate" (Invalid_argument "Dist.exponential: rate must be positive")
+    (fun () -> ignore (Prob.Dist.exponential r ~rate:0.));
+  Alcotest.check_raises "rayleigh sigma" (Invalid_argument "Dist.rayleigh: sigma must be positive")
+    (fun () -> ignore (Prob.Dist.rayleigh r ~sigma:(-1.)));
+  Alcotest.check_raises "uniform_int" (Invalid_argument "Dist.uniform_int: hi < lo")
+    (fun () -> ignore (Prob.Dist.uniform_int r ~lo:2 ~hi:1))
+
+let test_normal_tail_fraction () =
+  (* ~5% of standard normal samples beyond +-1.96 *)
+  let r = Prob.Rng.create ~seed:21 in
+  let n = 100_000 in
+  let out = ref 0 in
+  for _ = 1 to n do
+    if abs_float (Prob.Dist.standard_normal r) > 1.959964 then incr out
+  done;
+  let frac = float_of_int !out /. float_of_int n in
+  Alcotest.(check bool) "tail ~5%" true (abs_float (frac -. 0.05) < 0.005)
+
+let suites =
+  [ ( "prob.rng",
+      [ Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "different seeds" `Quick test_different_seeds;
+        Alcotest.test_case "copy replays" `Quick test_copy_independent;
+        Alcotest.test_case "split distinct" `Quick test_split_distinct;
+        Alcotest.test_case "float bounds" `Quick test_float_range_bounds;
+        Alcotest.test_case "int bounds" `Quick test_int_bounds;
+        Alcotest.test_case "int invalid" `Quick test_int_invalid;
+        Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+        Alcotest.test_case "bernoulli frequency" `Quick test_bernoulli_frequency;
+      ] );
+    ( "prob.dist",
+      [ Alcotest.test_case "normal moments" `Quick test_normal_moments;
+        Alcotest.test_case "exponential moments" `Quick test_exponential_moments;
+        Alcotest.test_case "fading power gain" `Quick test_exponential_power_gain;
+        Alcotest.test_case "complex normal power" `Quick test_complex_normal_power;
+        Alcotest.test_case "rayleigh moments" `Quick test_rayleigh_moments;
+        Alcotest.test_case "uniform int bounds" `Quick test_uniform_int_bounds;
+        Alcotest.test_case "invalid args" `Quick test_invalid_args;
+        Alcotest.test_case "normal tails" `Quick test_normal_tail_fraction;
+      ] );
+  ]
+
+let _ = check_float
