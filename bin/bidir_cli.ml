@@ -40,6 +40,38 @@ let kind_arg =
   let outer = Arg.(value & flag & info [ "outer" ] ~doc) in
   Term.(const (fun o -> if o then Bidir.Bound.Outer else Bidir.Bound.Inner) $ outer)
 
+(* Engine knobs: every evaluation command takes [--domains N] (parallel
+   LP sweeps; results are bit-identical for any N) and [--stats] (print
+   LP-solve and cache counters to stderr when done). *)
+let engine_args =
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Evaluate LP sweeps on $(docv) parallel domains \
+                   (default 1: sequential; the output is identical for \
+                   any value).")
+  in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print engine statistics (LP solves, cache hit rate, \
+                   per-phase wall time) to stderr on exit.")
+  in
+  Term.(const (fun d s -> (d, s)) $ domains $ stats)
+
+let with_engine (domains, stats) f =
+  if domains < 1 then begin
+    Printf.eprintf "--domains must be >= 1\n";
+    exit 2
+  end;
+  Engine.Pool.set_default_domains domains;
+  Engine.Stats.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      if stats then
+        prerr_string (Engine.Stats.to_string (Engine.Stats.snapshot ())))
+    f
+
 (* ------------------------------------------------------------------ *)
 (* figures                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -64,7 +96,8 @@ let figures_cmd =
              ~doc:"Write each artifact to its own file under DIR (svg for \
                    figures when --svg, txt/csv otherwise) instead of stdout.")
   in
-  let run id csv svg out =
+  let run engine id csv svg out =
+    with_engine engine @@ fun () ->
     (match out with
     | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
     | _ -> ());
@@ -123,14 +156,15 @@ let figures_cmd =
   in
   let doc = "Regenerate the paper's figures and tables." in
   Cmd.v (Cmd.info "figures" ~doc)
-    Term.(const run $ id_arg $ csv_arg $ svg_arg $ out_arg)
+    Term.(const run $ engine_args $ id_arg $ csv_arg $ svg_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sumrate                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let sumrate_cmd =
-  let run power_db gains kind =
+  let run engine power_db gains kind =
+    with_engine engine @@ fun () ->
     let s = Bidir.Gaussian.scenario ~power_db ~gains in
     let rows =
       List.map
@@ -166,14 +200,16 @@ let sumrate_cmd =
          ~rows)
   in
   let doc = "Optimal sum rates of all protocols on one channel." in
-  Cmd.v (Cmd.info "sumrate" ~doc) Term.(const run $ power_arg $ gains_args $ kind_arg)
+  Cmd.v (Cmd.info "sumrate" ~doc)
+    Term.(const run $ engine_args $ power_arg $ gains_args $ kind_arg)
 
 (* ------------------------------------------------------------------ *)
 (* region                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let region_cmd =
-  let run power_db gains protocol kind =
+  let run engine power_db gains protocol kind =
+    with_engine engine @@ fun () ->
     let s = Bidir.Gaussian.scenario ~power_db ~gains in
     let b = Bidir.Gaussian.bounds protocol kind s in
     let pts = Bidir.Rate_region.boundary b in
@@ -206,7 +242,8 @@ let region_cmd =
   in
   let doc = "Trace one protocol's rate-region boundary." in
   Cmd.v (Cmd.info "region" ~doc)
-    Term.(const run $ power_arg $ gains_args $ protocol_arg $ kind_arg)
+    Term.(const run $ engine_args $ power_arg $ gains_args $ protocol_arg
+          $ kind_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -383,7 +420,8 @@ let sweep_cmd =
   let lo_arg = Arg.(value & opt float (-10.) & info [ "from" ] ~docv:"DB" ~doc:"Sweep start (dB).") in
   let hi_arg = Arg.(value & opt float 25. & info [ "to" ] ~docv:"DB" ~doc:"Sweep end (dB).") in
   let steps_arg = Arg.(value & opt int 15 & info [ "steps" ] ~docv:"N" ~doc:"Sweep points.") in
-  let run gains lo hi steps =
+  let run engine gains lo hi steps =
+    with_engine engine @@ fun () ->
     let rows =
       Array.to_list
         (Array.map
@@ -400,7 +438,7 @@ let sweep_cmd =
     in
     print_string
       (Chart.Table.render
-         ~headers:[ "P (dB)"; "DT"; "MABC"; "TDBC"; "HBC"; "best" ]
+         ~headers:[ "P (dB)"; "DT"; "NAIVE"; "MABC"; "TDBC"; "HBC"; "best" ]
          ~rows);
     print_newline ();
     let crossings =
@@ -416,7 +454,7 @@ let sweep_cmd =
   in
   let doc = "Sweep transmit power and report per-protocol sum rates." in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const run $ gains_args $ lo_arg $ hi_arg $ steps_arg)
+    Term.(const run $ engine_args $ gains_args $ lo_arg $ hi_arg $ steps_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -27,11 +27,19 @@ let fig3 ?(power_db = 15.) ?(exponent = 3.) ?(samples = 37) () =
     let s = Gaussian.scenario ~power_db ~gains in
     (Optimize.sum_rate protocol Bound.Inner s).Optimize.sum_rate
   in
+  (* one pool task per position, each evaluating every protocol *)
+  let per_position =
+    Engine.Pool.map
+      (fun d -> List.map (fun p -> sum_rate_at p d) Protocol.all)
+      positions
+  in
   let series =
-    List.map
-      (fun p ->
+    List.mapi
+      (fun pi p ->
         { label = Protocol.name p;
-          points = List.map (fun d -> (d, sum_rate_at p d)) positions;
+          points =
+            List.map2 (fun d rates -> (d, List.nth rates pi)) positions
+              per_position;
         })
       Protocol.all
   in
@@ -47,16 +55,22 @@ let fig3 ?(power_db = 15.) ?(exponent = 3.) ?(samples = 37) () =
 
 let fig3_snr ?(gains = Channel.Gains.paper_fig4) ?(samples = 36) () =
   let powers = Array.to_list (Numerics.Float_utils.linspace (-10.) 25. samples) in
+  let per_power =
+    Engine.Pool.map
+      (fun power_db ->
+        let s = Gaussian.scenario ~power_db ~gains in
+        List.map
+          (fun p -> (Optimize.sum_rate p Bound.Inner s).Optimize.sum_rate)
+          Protocol.all)
+      powers
+  in
   let series =
-    List.map
-      (fun p ->
+    List.mapi
+      (fun pi p ->
         { label = Protocol.name p;
           points =
-            List.map
-              (fun power_db ->
-                let s = Gaussian.scenario ~power_db ~gains in
-                (power_db, (Optimize.sum_rate p Bound.Inner s).Optimize.sum_rate))
-              powers;
+            List.map2 (fun power_db rates -> (power_db, List.nth rates pi))
+              powers per_power;
         })
       Protocol.all
   in
@@ -104,25 +118,28 @@ let fig4 ~power_db ?(gains = Channel.Gains.paper_fig4) () =
 
 let gap_table ?(powers_db = [ 0.; 5.; 10.; 15. ]) ?(gains = Channel.Gains.paper_fig4)
     () =
-  let rows =
+  let jobs =
     List.concat_map
       (fun power_db ->
-        let s = Gaussian.scenario ~power_db ~gains in
-        List.map
-          (fun p ->
-            let inner = (Optimize.sum_rate p Bound.Inner s).Optimize.sum_rate in
-            let outer = (Optimize.sum_rate p Bound.Outer s).Optimize.sum_rate in
-            let gap =
-              Float.max 0. ((outer -. inner) /. Float.max outer 1e-12 *. 100.)
-            in
-            [ Printf.sprintf "%g" power_db;
-              Protocol.name p;
-              fmt_f inner;
-              fmt_f outer;
-              Printf.sprintf "%.2f%%" gap;
-            ])
-          [ Protocol.Tdbc; Protocol.Hbc ])
+        List.map (fun p -> (power_db, p)) [ Protocol.Tdbc; Protocol.Hbc ])
       powers_db
+  in
+  let rows =
+    Engine.Pool.map
+      (fun (power_db, p) ->
+        let s = Gaussian.scenario ~power_db ~gains in
+        let inner = (Optimize.sum_rate p Bound.Inner s).Optimize.sum_rate in
+        let outer = (Optimize.sum_rate p Bound.Outer s).Optimize.sum_rate in
+        let gap =
+          Float.max 0. ((outer -. inner) /. Float.max outer 1e-12 *. 100.)
+        in
+        [ Printf.sprintf "%g" power_db;
+          Protocol.name p;
+          fmt_f inner;
+          fmt_f outer;
+          Printf.sprintf "%.2f%%" gap;
+        ])
+      jobs
   in
   { table_id = "gap";
     table_title = "Inner vs outer optimal sum rates (TDBC: Thm 3/4, HBC: Thm 5/6)";
@@ -160,9 +177,12 @@ let crossover_table ?(gains = Channel.Gains.paper_fig4) () =
       -. Float.max (sum Protocol.Mabc) (sum Protocol.Tdbc)
       > 1e-4
     in
-    let samples = Numerics.Float_utils.linspace (-10.) 25. 141 in
+    let samples = Array.to_list (Numerics.Float_utils.linspace (-10.) 25. 141) in
+    let flags = Engine.Pool.map strict samples in
     let inside =
-      Array.to_list samples |> List.filter strict
+      List.filter_map
+        (fun (p, ok) -> if ok then Some p else None)
+        (List.combine samples flags)
     in
     match inside with
     | [] -> "never strict in [-10, 25] dB"

@@ -7,19 +7,34 @@ type sum_rate_result = {
   deltas : float array;
 }
 
+(* Scenario-level cache: a scenario is a plain record of floats, so
+   (protocol, kind, scenario) is a canonical key without rendering the
+   bound system at all. On a warm pass this skips bound construction
+   and the per-LP key hashing entirely. *)
+let sum_rate_cache :
+    (Protocol.t * Bound.kind * Gaussian.scenario, sum_rate_result)
+    Engine.Memo.t =
+  Engine.Memo.create ()
+
 let sum_rate protocol kind scenario =
-  let b = Gaussian.bounds protocol kind scenario in
-  let r = Rate_region.max_sum_rate b in
-  { protocol;
-    bound_kind = kind;
-    sum_rate = Rate_region.sum r;
-    ra = r.Rate_region.ra;
-    rb = r.Rate_region.rb;
-    deltas = r.Rate_region.deltas;
-  }
+  let r =
+    Engine.Memo.find_or_add sum_rate_cache (protocol, kind, scenario)
+      (fun () ->
+        let b = Gaussian.bounds protocol kind scenario in
+        let r = Rate_region.max_sum_rate b in
+        { protocol;
+          bound_kind = kind;
+          sum_rate = Rate_region.sum r;
+          ra = r.Rate_region.ra;
+          rb = r.Rate_region.rb;
+          deltas = r.Rate_region.deltas;
+        })
+  in
+  (* fresh deltas so callers can never mutate the cached schedule *)
+  { r with deltas = Array.copy r.deltas }
 
 let all_sum_rates kind scenario =
-  List.map (fun p -> sum_rate p kind scenario) Protocol.all
+  Engine.Pool.map (fun p -> sum_rate p kind scenario) Protocol.all
 
 let best_protocol kind scenario =
   match all_sum_rates kind scenario with
@@ -37,21 +52,30 @@ let crossover_powers_db ?(lo_db = -10.) ?(hi_db = 25.) ?(samples = 141)
   in
   Numerics.Root.crossings ~f:diff ~lo:lo_db ~hi:hi_db ~samples
 
-let hbc_strict_advantage scenario =
+let hbc_strict_advantage_uncached scenario =
   let hbc = Gaussian.bounds Protocol.Hbc Bound.Inner scenario in
   let mabc_outer = Gaussian.bounds Protocol.Mabc Bound.Outer scenario in
   let tdbc_outer = Gaussian.bounds Protocol.Tdbc Bound.Outer scenario in
   let candidates = Rate_region.boundary ~weights:129 hbc in
+  (* build each outer polygon once, not once per candidate *)
+  let mabc_poly = Rate_region.polygon mabc_outer in
+  let tdbc_poly = Rate_region.polygon tdbc_outer in
+  let distance bound poly ~ra ~rb =
+    if Rate_region.achievable bound ~ra ~rb then 0.
+    else
+      Numerics.Polygon.distance_to_boundary poly (Numerics.Vec2.make ra rb)
+  in
   let outside =
-    List.filter_map
+    Engine.Pool.map
       (fun (p : Numerics.Vec2.t) ->
         let ra = p.Numerics.Vec2.x and rb = p.Numerics.Vec2.y in
-        let d_mabc = Rate_region.distance_outside mabc_outer ~ra ~rb in
-        let d_tdbc = Rate_region.distance_outside tdbc_outer ~ra ~rb in
+        let d_mabc = distance mabc_outer mabc_poly ~ra ~rb in
+        let d_tdbc = distance tdbc_outer tdbc_poly ~ra ~rb in
         if d_mabc > 1e-9 && d_tdbc > 1e-9 then
           Some (ra, rb, Float.min d_mabc d_tdbc)
         else None)
       candidates
+    |> List.filter_map Fun.id
   in
   match outside with
   | [] -> None
@@ -61,3 +85,14 @@ let hbc_strict_advantage scenario =
          (fun ((_, _, m_best) as best) ((_, _, m) as cand) ->
            if m > m_best then cand else best)
          first rest)
+
+(* The full advantage search (a 129-weight sweep plus two outer-bound
+   polygons plus per-candidate feasibility probes) is deterministic in
+   the scenario, so its verdict is cached whole. *)
+let hbc_advantage_cache :
+    (Gaussian.scenario, (float * float * float) option) Engine.Memo.t =
+  Engine.Memo.create ()
+
+let hbc_strict_advantage scenario =
+  Engine.Memo.find_or_add hbc_advantage_cache scenario (fun () ->
+      hbc_strict_advantage_uncached scenario)

@@ -22,9 +22,49 @@ let lp_constraints (b : Bound.t) =
   in
   (nvars, simplex_row :: List.map of_term b.Bound.terms)
 
-let max_weighted b ~wa ~wb =
-  if wa < 0. || wb < 0. || wa +. wb <= 0. then
-    invalid_arg "Rate_region.max_weighted: bad weights";
+(* Canonical cache key for a bound system: protocol, bound kind and the
+   exact (hex-rendered, lossless) constraint coefficients. Two bounds
+   built from the same protocol/kind/scenario produce the same key, so
+   repeated sweeps over overlapping scenarios share LP solutions. *)
+let bound_key (b : Bound.t) =
+  let buf = Buffer.create 160 in
+  Buffer.add_string buf (Protocol.name b.Bound.protocol);
+  Buffer.add_char buf '|';
+  Buffer.add_string buf (Bound.kind_name b.Bound.bound_kind);
+  Printf.bprintf buf "|%d" b.Bound.num_phases;
+  List.iter
+    (fun (t : Bound.term) ->
+      Printf.bprintf buf "|%h,%h" t.Bound.ca t.Bound.cb;
+      Array.iter (fun c -> Printf.bprintf buf ",%h" c) t.Bound.per_phase)
+    b.Bound.terms;
+  Buffer.contents buf
+
+let weighted_cache : (string * float * float, opt_result) Engine.Memo.t =
+  Engine.Memo.create ()
+
+let feasibility_cache : (string * float * float, bool) Engine.Memo.t =
+  Engine.Memo.create ()
+
+(* Boundary sweeps and their down-closures are cached whole: the warm
+   path of a figure pass is dominated not by LP solves (those hit
+   [weighted_cache]) but by the sweep's dedup/sort and the convex
+   geometry, so caching the finished point lists is what makes repeat
+   passes cheap. Both store immutable [Vec2.t] lists, so hits can share
+   structure safely. *)
+let boundary_cache : (string * int, Numerics.Vec2.t list) Engine.Memo.t =
+  Engine.Memo.create ()
+
+let polygon_cache : (string * int, Numerics.Vec2.t list) Engine.Memo.t =
+  Engine.Memo.create ()
+
+let clear_cache () =
+  Engine.Memo.clear weighted_cache;
+  Engine.Memo.clear feasibility_cache;
+  Engine.Memo.clear boundary_cache;
+  Engine.Memo.clear polygon_cache
+
+let solve_weighted b ~wa ~wb =
+  Engine.Stats.record_lp_solve ();
   let nvars, constrs = lp_constraints b in
   let c = Array.make nvars 0. in
   c.(0) <- wa;
@@ -38,33 +78,56 @@ let max_weighted b ~wa ~wb =
   | Linprog.Simplex.Infeasible ->
     failwith "Rate_region.max_weighted: infeasible bound system"
 
+(* [~key] must be [bound_key b]; sweeps compute it once and reuse it
+   across their LPs — building the key is cheap next to a solve but not
+   next to a cache hit. *)
+let max_weighted_keyed ~key b ~wa ~wb =
+  if wa < 0. || wb < 0. || wa +. wb <= 0. then
+    invalid_arg "Rate_region.max_weighted: bad weights";
+  let r =
+    Engine.Memo.find_or_add weighted_cache (key, wa, wb) (fun () ->
+        solve_weighted b ~wa ~wb)
+  in
+  (* fresh deltas so callers can never mutate the cached schedule *)
+  { r with deltas = Array.copy r.deltas }
+
+let max_weighted b ~wa ~wb = max_weighted_keyed ~key:(bound_key b) b ~wa ~wb
+
 let max_sum_rate b = max_weighted b ~wa:1. ~wb:1.
 
 (* A tiny secondary weight makes the corner lexicographic without
    perturbing the primary optimum at these problem scales. *)
 let lex_eps = 1e-7
 
-let max_ra b = max_weighted b ~wa:1. ~wb:lex_eps
-let max_rb b = max_weighted b ~wa:lex_eps ~wb:1.
+let max_ra_keyed ~key b = max_weighted_keyed ~key b ~wa:1. ~wb:lex_eps
+let max_rb_keyed ~key b = max_weighted_keyed ~key b ~wa:lex_eps ~wb:1.
+let max_ra b = max_ra_keyed ~key:(bound_key b) b
+let max_rb b = max_rb_keyed ~key:(bound_key b) b
 
-let achievable b ~ra ~rb =
+let probe_achievable b ~ra ~rb =
+  Engine.Stats.record_lp_solve ();
+  (* project out the rates: constraints over the durations only *)
+  let l = b.Bound.num_phases in
+  let of_term (t : Bound.term) =
+    (* sum_l c_l d_l >= ca ra + cb rb *)
+    Linprog.Simplex.constr
+      (Array.copy t.Bound.per_phase)
+      Linprog.Simplex.Ge
+      ((t.Bound.ca *. ra) +. (t.Bound.cb *. rb) -. 1e-9)
+  in
+  let simplex_row =
+    Linprog.Simplex.constr (Array.make l 1.) Linprog.Simplex.Eq 1.
+  in
+  Linprog.Simplex.feasible ~nvars:l
+    ~constrs:(simplex_row :: List.map of_term b.Bound.terms)
+
+let achievable_keyed ~key b ~ra ~rb =
   if ra < -1e-12 || rb < -1e-12 then false
-  else begin
-    (* project out the rates: constraints over the durations only *)
-    let l = b.Bound.num_phases in
-    let of_term (t : Bound.term) =
-      (* sum_l c_l d_l >= ca ra + cb rb *)
-      Linprog.Simplex.constr
-        (Array.copy t.Bound.per_phase)
-        Linprog.Simplex.Ge
-        ((t.Bound.ca *. ra) +. (t.Bound.cb *. rb) -. 1e-9)
-    in
-    let simplex_row =
-      Linprog.Simplex.constr (Array.make l 1.) Linprog.Simplex.Eq 1.
-    in
-    Linprog.Simplex.feasible ~nvars:l
-      ~constrs:(simplex_row :: List.map of_term b.Bound.terms)
-  end
+  else
+    Engine.Memo.find_or_add feasibility_cache (key, ra, rb) (fun () ->
+        probe_achievable b ~ra ~rb)
+
+let achievable b ~ra ~rb = achievable_keyed ~key:(bound_key b) b ~ra ~rb
 
 let dedup_points pts =
   let close (p : Numerics.Vec2.t) (q : Numerics.Vec2.t) =
@@ -75,39 +138,59 @@ let dedup_points pts =
     [] pts
   |> List.rev
 
-let boundary ?(weights = 65) b =
-  if weights < 2 then invalid_arg "Rate_region.boundary: weights < 2";
-  let corner_a = max_ra b and corner_b = max_rb b in
+(* The weight sweep shared by [boundary] and [boundary_with_schedules]:
+   the Rb corner, then the interior weights in the legacy (descending-w)
+   order, then the Ra corner. The interior LPs fan out over the engine
+   pool; chunked-by-index scheduling keeps the order — and therefore the
+   downstream dedup — independent of the domain count. *)
+let sweep_results ~caller ~key ~weights b =
+  if weights < 2 then invalid_arg (caller ^ ": weights < 2");
+  let interior =
+    List.init weights (fun i ->
+        float_of_int (i + 1) /. float_of_int (weights + 1))
+  in
   let sweep =
-    Numerics.Float_utils.fold_range weights ~init:[] ~f:(fun acc i ->
-        let w = float_of_int (i + 1) /. float_of_int (weights + 1) in
-        let r = max_weighted b ~wa:w ~wb:(1. -. w) in
-        { r with deltas = r.deltas } :: acc)
+    Engine.Pool.map
+      (fun w -> max_weighted_keyed ~key b ~wa:w ~wb:(1. -. w))
+      interior
   in
-  let pts =
-    List.map
-      (fun r -> Numerics.Vec2.make r.ra r.rb)
-      ((corner_b :: sweep) @ [ corner_a ])
-  in
-  dedup_points pts
-  |> List.sort (fun (p : Numerics.Vec2.t) (q : Numerics.Vec2.t) ->
-         compare (p.Numerics.Vec2.x, p.Numerics.Vec2.y)
-           (q.Numerics.Vec2.x, q.Numerics.Vec2.y))
+  (max_rb_keyed ~key b :: List.rev sweep) @ [ max_ra_keyed ~key b ]
 
-let polygon ?weights b = Numerics.Polygon.down_closure (boundary ?weights b)
+let default_weights = 65
+
+let boundary_keyed ~key ?(weights = default_weights) b =
+  Engine.Memo.find_or_add boundary_cache (key, weights) (fun () ->
+      let all =
+        sweep_results ~caller:"Rate_region.boundary" ~key ~weights b
+      in
+      let pts = List.map (fun r -> Numerics.Vec2.make r.ra r.rb) all in
+      dedup_points pts
+      |> List.sort (fun (p : Numerics.Vec2.t) (q : Numerics.Vec2.t) ->
+             compare (p.Numerics.Vec2.x, p.Numerics.Vec2.y)
+               (q.Numerics.Vec2.x, q.Numerics.Vec2.y)))
+
+let boundary ?weights b = boundary_keyed ~key:(bound_key b) ?weights b
+
+let polygon_keyed ~key ?(weights = default_weights) b =
+  Engine.Memo.find_or_add polygon_cache (key, weights) (fun () ->
+      Numerics.Polygon.down_closure (boundary_keyed ~key ~weights b))
+
+let polygon ?weights b = polygon_keyed ~key:(bound_key b) ?weights b
 
 let area ?weights b = Numerics.Polygon.area (polygon ?weights b)
 
 let contains_region ?weights big small =
+  let key = bound_key big in
   List.for_all
     (fun (p : Numerics.Vec2.t) ->
-      achievable big ~ra:p.Numerics.Vec2.x ~rb:p.Numerics.Vec2.y)
+      achievable_keyed ~key big ~ra:p.Numerics.Vec2.x ~rb:p.Numerics.Vec2.y)
     (boundary ?weights small)
 
 let distance_outside b ~ra ~rb =
-  if achievable b ~ra ~rb then 0.
+  let key = bound_key b in
+  if achievable_keyed ~key b ~ra ~rb then 0.
   else
-    Numerics.Polygon.distance_to_boundary (polygon b)
+    Numerics.Polygon.distance_to_boundary (polygon_keyed ~key b)
       (Numerics.Vec2.make ra rb)
 
 let max_product ?weights b =
@@ -164,15 +247,11 @@ let binding_terms ?(eps = 1e-7) (b : Bound.t) r =
       abs_float (lhs -. rhs) <= eps *. Float.max 1. (abs_float rhs))
     b.Bound.terms
 
-let boundary_with_schedules ?(weights = 65) b =
-  if weights < 2 then
-    invalid_arg "Rate_region.boundary_with_schedules: weights < 2";
-  let sweep =
-    Numerics.Float_utils.fold_range weights ~init:[] ~f:(fun acc i ->
-        let w = float_of_int (i + 1) /. float_of_int (weights + 1) in
-        max_weighted b ~wa:w ~wb:(1. -. w) :: acc)
+let boundary_with_schedules ?(weights = default_weights) b =
+  let all =
+    sweep_results ~caller:"Rate_region.boundary_with_schedules"
+      ~key:(bound_key b) ~weights b
   in
-  let all = (max_rb b :: sweep) @ [ max_ra b ] in
   (* dedup by rate pair, keeping the first schedule seen for it *)
   let close a b' =
     abs_float (a.ra -. b'.ra) < 1e-7 && abs_float (a.rb -. b'.rb) < 1e-7

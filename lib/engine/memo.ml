@@ -1,0 +1,66 @@
+type ('k, 'v) t = { lock : Mutex.t; tbl : ('k, 'v) Hashtbl.t }
+
+let global_enabled = Atomic.make true
+
+let enabled () = Atomic.get global_enabled
+let set_enabled b = Atomic.set global_enabled b
+
+let with_enabled b f =
+  let prev = enabled () in
+  set_enabled b;
+  Fun.protect ~finally:(fun () -> set_enabled prev) f
+
+let clear t =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.tbl;
+  Mutex.unlock t.lock
+
+(* Every table registers a clear thunk so [clear_all] can reach caches
+   of any key/value type. Tables are module-level globals in practice,
+   so the registry stays small and is never pruned. *)
+let registry : (unit -> unit) list ref = ref []
+let registry_lock = Mutex.create ()
+
+let create ?(size = 256) () =
+  let t = { lock = Mutex.create (); tbl = Hashtbl.create size } in
+  Mutex.lock registry_lock;
+  registry := (fun () -> clear t) :: !registry;
+  Mutex.unlock registry_lock;
+  t
+
+let clear_all () =
+  Mutex.lock registry_lock;
+  let thunks = !registry in
+  Mutex.unlock registry_lock;
+  List.iter (fun f -> f ()) thunks
+
+let length t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.lock;
+  n
+
+let find_or_add t k compute =
+  if not (enabled ()) then compute ()
+  else begin
+    Mutex.lock t.lock;
+    match Hashtbl.find_opt t.tbl k with
+    | Some v ->
+      Mutex.unlock t.lock;
+      Stats.record_hit ();
+      v
+    | None ->
+      Mutex.unlock t.lock;
+      Stats.record_miss ();
+      let v = compute () in
+      Mutex.lock t.lock;
+      let stored =
+        match Hashtbl.find_opt t.tbl k with
+        | Some v' -> v' (* another domain raced us to this key *)
+        | None ->
+          Hashtbl.add t.tbl k v;
+          v
+      in
+      Mutex.unlock t.lock;
+      stored
+  end

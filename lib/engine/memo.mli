@@ -1,0 +1,41 @@
+(** Thread-safe memoization tables with a global enable switch.
+
+    A table maps canonical keys to computed values; lookups from any
+    domain are serialised by a per-table mutex, but computations run
+    OUTSIDE the lock so concurrent misses on different keys proceed in
+    parallel (two domains racing on the SAME key may both compute; the
+    first insertion wins and both observe the stored value — harmless
+    as long as the computation is deterministic, which is the contract
+    of every caller in this repo).
+
+    Hits and misses are recorded in {!Stats}. When the global switch is
+    off ({!set_enabled} [false]), [find_or_add] always computes and
+    records nothing, so disabling the cache changes wall time but never
+    results. *)
+
+type ('k, 'v) t
+
+val create : ?size:int -> unit -> ('k, 'v) t
+(** [size] is the initial hash-table capacity (default 256). Keys are
+    compared with structural equality and hashed with [Hashtbl.hash]. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [find_or_add t k compute] returns the cached value for [k], or runs
+    [compute ()], stores the result and returns it. Exceptions from
+    [compute] propagate and nothing is stored. *)
+
+val clear : ('k, 'v) t -> unit
+val length : ('k, 'v) t -> int
+
+val clear_all : unit -> unit
+(** Clear every table ever created (each [create] registers itself).
+    This is what "cold cache" means in benchmarks: no layer of the
+    evaluation stack keeps a memoized result across the call. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Global switch shared by all tables (default: enabled). *)
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run a thunk with the switch temporarily forced to the given state,
+    restoring the previous state afterwards (also on exceptions). *)

@@ -1,0 +1,134 @@
+let default = Atomic.make 1
+
+let set_default_domains n =
+  if n < 1 then invalid_arg "Engine.Pool.set_default_domains: n < 1";
+  Atomic.set default n
+
+let default_domains () = Atomic.get default
+
+(* Workers flag themselves so a nested map runs inline rather than
+   spawning or queueing work from inside a worker (which could deadlock
+   a fully-busy pool). The caller's domain is flagged for the duration
+   of its own chunk for the same reason. *)
+let in_worker = Domain.DLS.new_key (fun () -> false)
+
+(* Persistent worker domains: spawning a domain costs ~1 ms, far more
+   than a typical sweep chunk, so workers are spawned once on first
+   parallel use, kept blocked on a condition variable between maps, and
+   joined from an [at_exit] hook. *)
+let pool_lock = Mutex.create ()
+let work_cond = Condition.create ()
+let pending : (unit -> unit) Queue.t = Queue.create ()
+let shutting_down = ref false
+let workers : unit Domain.t list ref = ref []
+let worker_count = ref 0
+let exit_hook_registered = ref false
+
+let rec worker_loop () =
+  Mutex.lock pool_lock;
+  while Queue.is_empty pending && not !shutting_down do
+    Condition.wait work_cond pool_lock
+  done;
+  if Queue.is_empty pending then Mutex.unlock pool_lock (* shutdown *)
+  else begin
+    let job = Queue.pop pending in
+    Mutex.unlock pool_lock;
+    job ();
+    worker_loop ()
+  end
+
+let teardown () =
+  Mutex.lock pool_lock;
+  shutting_down := true;
+  Condition.broadcast work_cond;
+  Mutex.unlock pool_lock;
+  List.iter Domain.join !workers;
+  workers := [];
+  worker_count := 0
+
+let ensure_workers n =
+  Mutex.lock pool_lock;
+  if not !exit_hook_registered then begin
+    exit_hook_registered := true;
+    at_exit teardown
+  end;
+  while !worker_count < n && not !shutting_down do
+    incr worker_count;
+    workers :=
+      Domain.spawn (fun () ->
+          Domain.DLS.set in_worker true;
+          worker_loop ())
+      :: !workers
+  done;
+  Mutex.unlock pool_lock
+
+let map_array ?domains f items =
+  let n = Array.length items in
+  let d =
+    match domains with
+    | Some d when d < 1 -> invalid_arg "Engine.Pool.map: domains < 1"
+    | Some d -> d
+    | None -> default_domains ()
+  in
+  let d = min d n in
+  if d <= 1 || Domain.DLS.get in_worker then Array.map f items
+  else begin
+    Stats.record_pool_tasks n;
+    ensure_workers (d - 1);
+    let results = Array.make n None in
+    let first_error = Atomic.make None in
+    let remaining = Atomic.make d in
+    let done_lock = Mutex.create () in
+    let done_cond = Condition.create () in
+    let run_chunk k =
+      (try
+         (* chunk k owns indices [k*n/d, (k+1)*n/d) *)
+         for i = k * n / d to ((k + 1) * n / d) - 1 do
+           results.(i) <- Some (f items.(i))
+         done
+       with e -> ignore (Atomic.compare_and_set first_error None (Some e)));
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock done_lock;
+        Condition.broadcast done_cond;
+        Mutex.unlock done_lock
+      end
+    in
+    Mutex.lock pool_lock;
+    for k = 1 to d - 1 do
+      Queue.add (fun () -> run_chunk k) pending
+    done;
+    Condition.broadcast work_cond;
+    Mutex.unlock pool_lock;
+    (* The caller runs its own chunk, then helps drain the queue rather
+       than sleeping — so a map never waits on the scheduler when its
+       chunks haven't been picked up yet (crucial on few-core hosts). *)
+    Domain.DLS.set in_worker true;
+    run_chunk 0;
+    let rec drain () =
+      if Atomic.get remaining > 0 then begin
+        Mutex.lock pool_lock;
+        let job =
+          if Queue.is_empty pending then None else Some (Queue.pop pending)
+        in
+        Mutex.unlock pool_lock;
+        match job with
+        | Some j ->
+          j ();
+          drain ()
+        | None ->
+          (* remaining chunks are in flight on workers *)
+          Mutex.lock done_lock;
+          while Atomic.get remaining > 0 do
+            Condition.wait done_cond done_lock
+          done;
+          Mutex.unlock done_lock
+      end
+    in
+    drain ();
+    Domain.DLS.set in_worker false;
+    (match Atomic.get first_error with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map ?domains f items =
+  Array.to_list (map_array ?domains f (Array.of_list items))

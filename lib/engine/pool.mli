@@ -1,0 +1,30 @@
+(** Deterministic parallel map over OCaml 5 domains.
+
+    Items are partitioned into contiguous index chunks assigned
+    statically to domains (no work stealing), and results land in a
+    pre-sized array slot per item — so the output order, and for
+    deterministic [f] the output VALUES, are bit-identical regardless
+    of the domain count. With [domains = 1] (the default) nothing is
+    spawned or queued and the map degenerates to a plain sequential
+    [map].
+
+    Worker domains are persistent: spawning a domain costs around a
+    millisecond — more than a typical sweep chunk — so workers are
+    created on first parallel use, parked on a condition variable
+    between maps, and joined by an [at_exit] hook. Nested calls (an
+    [f] that itself calls {!map}) run sequentially inside the worker
+    instead of queueing, which would deadlock a fully-busy pool. *)
+
+val set_default_domains : int -> unit
+(** Set the domain count used when [?domains] is omitted. Raises
+    [Invalid_argument] when [n < 1]. The initial default is 1, keeping
+    every entry point sequential unless explicitly parallelised. *)
+
+val default_domains : unit -> int
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f items] is [List.map f items] evaluated on up to
+    [domains] domains. The first exception raised by any chunk is
+    re-raised after all domains are joined. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array

@@ -1,0 +1,76 @@
+type snapshot = {
+  lp_solves : int;
+  cache_hits : int;
+  cache_misses : int;
+  pool_tasks : int;
+  phases : (string * float) list;
+}
+
+let lp_solves = Atomic.make 0
+let cache_hits = Atomic.make 0
+let cache_misses = Atomic.make 0
+let pool_tasks = Atomic.make 0
+
+let phase_lock = Mutex.create ()
+let phase_acc : (string, float ref) Hashtbl.t = Hashtbl.create 16
+
+let record_lp_solve () = Atomic.incr lp_solves
+let record_hit () = Atomic.incr cache_hits
+let record_miss () = Atomic.incr cache_misses
+
+let record_pool_tasks n =
+  ignore (Atomic.fetch_and_add pool_tasks n : int)
+
+let add_phase_time label dt =
+  Mutex.lock phase_lock;
+  (match Hashtbl.find_opt phase_acc label with
+  | Some r -> r := !r +. dt
+  | None -> Hashtbl.add phase_acc label (ref dt));
+  Mutex.unlock phase_lock
+
+let timed label f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () -> add_phase_time label (Unix.gettimeofday () -. t0))
+    f
+
+let snapshot () =
+  let phases =
+    Mutex.lock phase_lock;
+    let acc = Hashtbl.fold (fun k r l -> (k, !r) :: l) phase_acc [] in
+    Mutex.unlock phase_lock;
+    List.sort (fun (a, _) (b, _) -> compare a b) acc
+  in
+  { lp_solves = Atomic.get lp_solves;
+    cache_hits = Atomic.get cache_hits;
+    cache_misses = Atomic.get cache_misses;
+    pool_tasks = Atomic.get pool_tasks;
+    phases;
+  }
+
+let reset () =
+  Atomic.set lp_solves 0;
+  Atomic.set cache_hits 0;
+  Atomic.set cache_misses 0;
+  Atomic.set pool_tasks 0;
+  Mutex.lock phase_lock;
+  Hashtbl.reset phase_acc;
+  Mutex.unlock phase_lock
+
+let hit_rate s =
+  let total = s.cache_hits + s.cache_misses in
+  if total = 0 then 0. else float_of_int s.cache_hits /. float_of_int total
+
+let to_string s =
+  let b = Buffer.create 256 in
+  Printf.bprintf b
+    "engine stats: %d LP solves, %d cache hits / %d misses (%.1f%% hit \
+     rate), %d pool tasks\n"
+    s.lp_solves s.cache_hits s.cache_misses
+    (100. *. hit_rate s)
+    s.pool_tasks;
+  List.iter
+    (fun (label, t) ->
+      Printf.bprintf b "  phase %-28s %8.1f ms\n" label (1000. *. t))
+    s.phases;
+  Buffer.contents b

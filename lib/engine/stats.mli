@@ -1,0 +1,36 @@
+(** Engine instrumentation: global (process-wide) counters for LP
+    solves, cache hits/misses and pool tasks, plus accumulated wall
+    time per named phase. All counters are atomic and safe to update
+    from any domain. *)
+
+type snapshot = {
+  lp_solves : int;       (** simplex invocations actually performed *)
+  cache_hits : int;      (** memo lookups answered without solving *)
+  cache_misses : int;    (** memo lookups that had to compute *)
+  pool_tasks : int;      (** items dispatched through parallel pool maps *)
+  phases : (string * float) list;
+      (** accumulated wall-clock seconds per phase label, sorted by label *)
+}
+
+val record_lp_solve : unit -> unit
+val record_hit : unit -> unit
+val record_miss : unit -> unit
+val record_pool_tasks : int -> unit
+
+val timed : string -> (unit -> 'a) -> 'a
+(** [timed label f] runs [f ()] and adds its wall-clock duration to the
+    accumulator for [label] (created on first use). Re-entrant; safe
+    from any domain. *)
+
+val snapshot : unit -> snapshot
+(** Consistent read of all counters. *)
+
+val reset : unit -> unit
+(** Zero every counter and drop all phase accumulators. *)
+
+val hit_rate : snapshot -> float
+(** [hits / (hits + misses)], or 0 when no lookups were recorded. *)
+
+val to_string : snapshot -> string
+(** Multi-line human-readable rendering (used by [bench] and the CLI
+    [--stats] flag). *)

@@ -5,7 +5,16 @@
     form [a . x (<= | >= | =) b]. The implementation uses Bland's
     anti-cycling rule throughout, so it terminates on every input; the
     LPs arising from rate-region computations are tiny (fewer than ten
-    variables), so no effort is spent on sparsity. *)
+    variables), so no effort is spent on sparsity.
+
+    {b Thread-safety contract:} the solver is pure and re-entrant. All
+    tableau state is allocated per call, input [coeffs] arrays are
+    copied into the tableau (never mutated), and the module holds no
+    global mutable state — so any number of domains may call
+    {!maximize}, {!minimize} and {!feasible} concurrently, and a given
+    input always produces the same output bit-for-bit. The parallel
+    sweep engine ([Engine.Pool] / [Rate_region]) relies on both
+    properties; see [docs/ENGINE.md]. *)
 
 type relation = Le | Ge | Eq
 

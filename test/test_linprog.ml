@@ -304,11 +304,73 @@ let prop_duality_bound =
         < 1e-5
       | _ -> false)
 
+(* Mixed Le/Ge systems: rows a x + b y (<=|>=) r with a, b > 0 and
+   r > 0. Le rows keep the system bounded near the origin; Ge rows can
+   push it infeasible, which is exactly the regime where [feasible] and
+   [maximize] must agree on the verdict. *)
+let lp_mixed_gen =
+  QCheck.(
+    pair
+      (pair (float_range 0.1 5.) (float_range 0.1 5.))
+      (list_of_size Gen.(int_range 2 6)
+         (quad bool (float_range 0.1 5.) (float_range 0.1 5.)
+            (float_range 0.5 20.))))
+
+let mixed_constrs rows =
+  List.map
+    (fun (is_ge, a, b, r) -> c_ [| a; b |] (if is_ge then ge else le) r)
+    rows
+
+let prop_feasible_agrees_with_maximize =
+  QCheck.Test.make ~count:300 ~name:"feasible agrees with maximize status"
+    lp_mixed_gen (fun ((c1, c2), rows) ->
+      let constrs = mixed_constrs rows in
+      let f = Linprog.Simplex.feasible ~constrs ~nvars:2 in
+      match solve_max [| c1; c2 |] constrs with
+      | Linprog.Simplex.Optimal _ | Linprog.Simplex.Unbounded -> f
+      | Linprog.Simplex.Infeasible -> not f)
+
+let prop_duplicate_rows_invariant =
+  QCheck.Test.make ~count:300 ~name:"duplicating a constraint keeps optimum"
+    lp_2d_gen (fun ((c1, c2), rows) ->
+      let constrs = List.map (fun (a, b, r) -> c_ [| a; b |] le r) rows in
+      let doubled = constrs @ constrs in
+      match
+        (solve_max [| c1; c2 |] constrs, solve_max [| c1; c2 |] doubled)
+      with
+      | Linprog.Simplex.Optimal s1, Linprog.Simplex.Optimal s2 ->
+        abs_float
+          (s1.Linprog.Simplex.objective -. s2.Linprog.Simplex.objective)
+        < 1e-6
+      | _ -> false)
+
+let prop_scaled_rows_invariant =
+  (* scaling a row a x <= r to k a x <= k r (k > 0) describes the same
+     half-plane, so the optimum must not move *)
+  QCheck.Test.make ~count:300 ~name:"scaling a constraint keeps optimum"
+    QCheck.(pair lp_2d_gen (float_range 0.2 10.))
+    (fun (((c1, c2), rows), k) ->
+      let constrs = List.map (fun (a, b, r) -> c_ [| a; b |] le r) rows in
+      let scaled =
+        List.map (fun (a, b, r) -> c_ [| k *. a; k *. b |] le (k *. r)) rows
+      in
+      match
+        (solve_max [| c1; c2 |] constrs, solve_max [| c1; c2 |] scaled)
+      with
+      | Linprog.Simplex.Optimal s1, Linprog.Simplex.Optimal s2 ->
+        abs_float
+          (s1.Linprog.Simplex.objective -. s2.Linprog.Simplex.objective)
+        < 1e-5
+      | _ -> false)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_simplex_matches_brute_force;
       prop_solution_is_feasible;
       prop_duality_bound;
+      prop_feasible_agrees_with_maximize;
+      prop_duplicate_rows_invariant;
+      prop_scaled_rows_invariant;
     ]
 
 let suites =
