@@ -185,11 +185,37 @@ let engine_comparison () =
   describe "figure evaluation, 4 domains, cold cache:" t4c s4c;
   describe "figure evaluation, 1 domain, cache enabled:" t1w s1w;
   describe "figure evaluation, 4 domains, cache enabled:" t4 s4;
+  let speedup = t1 /. Float.max t4 1e-9 in
+  let byte_identical =
+    String.equal out1 out4c && String.equal out1 out1w
+    && String.equal out1 out4
+  in
   Printf.printf "speedup, 4 domains (cache enabled) vs 1 domain: %.1fx\n"
-    (t1 /. Float.max t4 1e-9);
+    speedup;
   Printf.printf "rendered outputs byte-identical across engine configs: %b\n"
-    (String.equal out1 out4c && String.equal out1 out1w
-    && String.equal out1 out4)
+    byte_identical;
+  (* same measurements again, as JSON for BENCH_engine.json *)
+  let config label ~domains ~cold dt (s : Engine.Stats.snapshot) =
+    Telemetry.Json.Obj
+      [ ("label", Telemetry.Json.String label);
+        ("domains", Telemetry.Json.Int domains);
+        ("cold_cache", Telemetry.Json.Bool cold);
+        ("seconds", Telemetry.Json.Float dt);
+        ("lp_solves", Telemetry.Json.Int s.Engine.Stats.lp_solves);
+        ("hit_rate", Telemetry.Json.Float (Engine.Stats.hit_rate s));
+      ]
+  in
+  Telemetry.Json.Obj
+    [ ("configs",
+       Telemetry.Json.List
+         [ config "1 domain, cold cache" ~domains:1 ~cold:true t1 s1;
+           config "4 domains, cold cache" ~domains:4 ~cold:true t4c s4c;
+           config "1 domain, warm cache" ~domains:1 ~cold:false t1w s1w;
+           config "4 domains, warm cache" ~domains:4 ~cold:false t4 s4;
+         ]);
+      ("speedup_4_domains_vs_1", Telemetry.Json.Float speedup);
+      ("byte_identical", Telemetry.Json.Bool byte_identical);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                     *)
@@ -317,13 +343,55 @@ let run_benchmarks () =
   in
   print_string (Chart.Table.render ~headers:[ "benchmark"; "time/run" ] ~rows)
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable trajectory: BENCH_engine.json                      *)
+(* ------------------------------------------------------------------ *)
+
+let bench_json_path = "BENCH_engine.json"
+
+(* One JSON document per bench run: the reproduction pass's counters,
+   phase wall times and full telemetry registry (histograms with
+   p50/p90/p99), plus the engine-comparison timings. Tracking these
+   files across commits gives the performance trajectory of the repo. *)
+let write_bench_json ~repro_stats ~repro_telemetry ~comparison =
+  let s : Engine.Stats.snapshot = repro_stats in
+  let json =
+    Telemetry.Json.Obj
+      [ ("schema", Telemetry.Json.String "bidir-bench-engine/1");
+        ("reproduction",
+         Telemetry.Json.Obj
+           [ ("lp_solves", Telemetry.Json.Int s.Engine.Stats.lp_solves);
+             ("cache_hits", Telemetry.Json.Int s.Engine.Stats.cache_hits);
+             ("cache_misses", Telemetry.Json.Int s.Engine.Stats.cache_misses);
+             ("pool_tasks", Telemetry.Json.Int s.Engine.Stats.pool_tasks);
+             ("hit_rate", Telemetry.Json.Float (Engine.Stats.hit_rate s));
+             ("phase_seconds",
+              Telemetry.Json.Obj
+                (List.map
+                   (fun (label, secs) -> (label, Telemetry.Json.Float secs))
+                   s.Engine.Stats.phases));
+             ("telemetry", repro_telemetry);
+           ]);
+        ("engine_comparison", comparison);
+      ]
+  in
+  let oc = open_out bench_json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Telemetry.Json.to_string_pretty json));
+  Printf.printf "\nwrote %s\n" bench_json_path
+
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   reproduce ();
   hr "ENGINE STATS: reproduction pass";
-  print_string (Engine.Stats.to_string (Engine.Stats.snapshot ()));
+  let repro_stats = Engine.Stats.snapshot () in
+  print_string (Engine.Stats.to_string repro_stats);
+  (* capture the registry before ablation/comparison reset it *)
+  let repro_telemetry = Telemetry.Metrics.to_json () in
   ablation ();
-  engine_comparison ();
+  let comparison = engine_comparison () in
+  write_bench_json ~repro_stats ~repro_telemetry ~comparison;
   if not quick then begin
     (* time the real kernels, not cache lookups *)
     Engine.Memo.with_enabled false run_benchmarks

@@ -41,15 +41,25 @@ let kind_arg =
   Term.(const (fun o -> if o then Bidir.Bound.Outer else Bidir.Bound.Inner) $ outer)
 
 (* Engine knobs: every evaluation command takes [--domains N] (parallel
-   LP sweeps; results are bit-identical for any N) and [--stats] (print
-   LP-solve and cache counters to stderr when done). *)
-let engine_args =
+   LP sweeps; results are bit-identical for any N), [--stats] (print
+   LP-solve and cache counters to stderr when done), [--trace FILE]
+   (record spans and write a Chrome trace) and [--metrics FILE] (dump
+   the full telemetry registry as JSON). *)
+type engine_opts = {
+  domains : int;
+  stats : bool;
+  trace : string option;
+  metrics : string option;
+}
+
+let engine_args ?(default_domains = 1) () =
   let domains =
-    Arg.(value & opt int 1
+    Arg.(value & opt int default_domains
          & info [ "domains" ] ~docv:"N"
-             ~doc:"Evaluate LP sweeps on $(docv) parallel domains \
-                   (default 1: sequential; the output is identical for \
-                   any value).")
+             ~doc:(Printf.sprintf
+                     "Evaluate LP sweeps on $(docv) parallel domains \
+                      (default %d; the output is identical for any \
+                      value)." default_domains))
   in
   let stats =
     Arg.(value & flag
@@ -57,18 +67,53 @@ let engine_args =
              ~doc:"Print engine statistics (LP solves, cache hit rate, \
                    per-phase wall time) to stderr on exit.")
   in
-  Term.(const (fun d s -> (d, s)) $ domains $ stats)
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record hierarchical spans and write a Chrome \
+                   trace-event JSON file on exit; load it in Perfetto \
+                   (ui.perfetto.dev) or chrome://tracing.")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Write every telemetry counter and histogram \
+                   (count/sum/p50/p90/p99) as JSON to $(docv) on exit.")
+  in
+  Term.(const (fun domains stats trace metrics ->
+            { domains; stats; trace; metrics })
+        $ domains $ stats $ trace $ metrics)
 
-let with_engine (domains, stats) f =
-  if domains < 1 then begin
+let write_file path content =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)
+
+let with_engine opts f =
+  if opts.domains < 1 then begin
     Printf.eprintf "--domains must be >= 1\n";
     exit 2
   end;
-  Engine.Pool.set_default_domains domains;
+  Engine.Pool.set_default_domains opts.domains;
   Engine.Stats.reset ();
+  if opts.trace <> None then Telemetry.Span.start ();
   Fun.protect
     ~finally:(fun () ->
-      if stats then
+      (match opts.trace with
+      | None -> ()
+      | Some path ->
+        Telemetry.Span.stop ();
+        write_file path
+          (Telemetry.Sink.chrome_trace_string (Telemetry.Span.events ()));
+        Printf.eprintf "trace: wrote %s\n" path);
+      (match opts.metrics with
+      | None -> ()
+      | Some path ->
+        write_file path
+          (Telemetry.Json.to_string_pretty (Telemetry.Metrics.to_json ()));
+        Printf.eprintf "metrics: wrote %s\n" path);
+      if opts.stats then
         prerr_string (Engine.Stats.to_string (Engine.Stats.snapshot ())))
     f
 
@@ -124,7 +169,7 @@ let figures_cmd =
       else write t.Bidir.Figures.table_id "txt" (Report.render_table t)
     in
     let emit_string name s = write name "txt" s in
-    let one = function
+    let rec one = function
       | "fig3" -> figure (Bidir.Figures.fig3 ())
       | "fig3-snr" -> figure (Bidir.Figures.fig3_snr ())
       | "fig4a" -> figure (Bidir.Figures.fig4 ~power_db:0. ())
@@ -144,10 +189,17 @@ let figures_cmd =
       | "ergodic" -> table (Bidir.Ergodic.ergodic_table ())
       | "outage" -> figure (Bidir.Ergodic.outage_figure ())
       | "all" ->
-        List.iter figure (Bidir.Figures.all_figures ());
-        List.iter table (Bidir.Figures.all_tables ());
-        table (Bidir.Ergodic.ergodic_table ~blocks:400 ());
-        emit_string "map" (Report.protocol_map ())
+        (* same artifacts in the same order as before, but each one runs
+           under its own phase timer so `--stats` (and `--metrics`)
+           report per-artifact wall time *)
+        let timed id f = Engine.Stats.timed ("artifact:" ^ id) f in
+        List.iter
+          (fun id -> timed id (fun () -> one id))
+          [ "fig3"; "fig3-snr"; "fig4a"; "fig4b"; "gap"; "crossover";
+            "hbc-witness"; "coding-gain"; "discrete" ];
+        timed "ergodic" (fun () ->
+            table (Bidir.Ergodic.ergodic_table ~blocks:400 ()));
+        timed "map" (fun () -> emit_string "map" (Report.protocol_map ()))
       | other ->
         Printf.eprintf "unknown artifact id %S\n" other;
         exit 2
@@ -156,7 +208,7 @@ let figures_cmd =
   in
   let doc = "Regenerate the paper's figures and tables." in
   Cmd.v (Cmd.info "figures" ~doc)
-    Term.(const run $ engine_args $ id_arg $ csv_arg $ svg_arg $ out_arg)
+    Term.(const run $ engine_args () $ id_arg $ csv_arg $ svg_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sumrate                                                             *)
@@ -201,7 +253,7 @@ let sumrate_cmd =
   in
   let doc = "Optimal sum rates of all protocols on one channel." in
   Cmd.v (Cmd.info "sumrate" ~doc)
-    Term.(const run $ engine_args $ power_arg $ gains_args $ kind_arg)
+    Term.(const run $ engine_args () $ power_arg $ gains_args $ kind_arg)
 
 (* ------------------------------------------------------------------ *)
 (* region                                                              *)
@@ -242,7 +294,7 @@ let region_cmd =
   in
   let doc = "Trace one protocol's rate-region boundary." in
   Cmd.v (Cmd.info "region" ~doc)
-    Term.(const run $ engine_args $ power_arg $ gains_args $ protocol_arg
+    Term.(const run $ engine_args () $ power_arg $ gains_args $ protocol_arg
           $ kind_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -270,7 +322,8 @@ let simulate_cmd =
              ~doc:"Use the fully event-driven simulator (explicit radio \
                    medium) instead of the block-level one.")
   in
-  let run power_db gains protocol blocks fading fixed seed detailed =
+  let run engine power_db gains protocol blocks fading fixed seed detailed =
+    with_engine engine @@ fun () ->
     let base =
       Netsim.Runner.default_config ~protocol ~power_db ~gains ~blocks ~seed ()
     in
@@ -315,8 +368,8 @@ let simulate_cmd =
   in
   let doc = "Run the packet-level simulator." in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ power_arg $ gains_args $ protocol_arg $ blocks_arg
-          $ fading_arg $ fixed_arg $ seed_arg $ detailed_arg)
+    Term.(const run $ engine_args () $ power_arg $ gains_args $ protocol_arg
+          $ blocks_arg $ fading_arg $ fixed_arg $ seed_arg $ detailed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* select                                                              *)
@@ -331,7 +384,8 @@ let select_cmd =
   let exponent_arg =
     Arg.(value & opt float 3. & info [ "alpha" ] ~docv:"A" ~doc:"Path-loss exponent.")
   in
-  let run power_db positions exponent =
+  let run engine power_db positions exponent =
+    with_engine engine @@ fun () ->
     let pl = Channel.Pathloss.make ~exponent () in
     let cands = Bidir.Relay_selection.candidates_on_line pl ~positions in
     let power = Numerics.Float_utils.db_to_lin power_db in
@@ -363,7 +417,8 @@ let select_cmd =
   in
   let doc = "Choose the best relay among candidates on the a-b line." in
   Cmd.v (Cmd.info "select" ~doc)
-    Term.(const run $ power_arg $ positions_arg $ exponent_arg)
+    Term.(const run $ engine_args () $ power_arg $ positions_arg
+          $ exponent_arg)
 
 (* ------------------------------------------------------------------ *)
 (* arq                                                                 *)
@@ -381,7 +436,8 @@ let arq_cmd =
   let retries_arg =
     Arg.(value & opt int 8 & info [ "retries" ] ~docv:"K" ~doc:"Retry budget per pair.")
   in
-  let run power_db gains protocol backoff messages max_retries =
+  let run engine power_db gains protocol backoff messages max_retries =
+    with_engine engine @@ fun () ->
     let s = Bidir.Gaussian.scenario ~power_db ~gains in
     let opt = Bidir.Optimize.sum_rate protocol Bidir.Bound.Inner s in
     let r =
@@ -409,8 +465,8 @@ let arq_cmd =
   in
   let doc = "Fixed-rate schedule with stop-and-wait ARQ under fading." in
   Cmd.v (Cmd.info "arq" ~doc)
-    Term.(const run $ power_arg $ gains_args $ protocol_arg $ backoff_arg
-          $ messages_arg $ retries_arg)
+    Term.(const run $ engine_args () $ power_arg $ gains_args $ protocol_arg
+          $ backoff_arg $ messages_arg $ retries_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
@@ -454,7 +510,64 @@ let sweep_cmd =
   in
   let doc = "Sweep transmit power and report per-protocol sum rates." in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const run $ engine_args $ gains_args $ lo_arg $ hi_arg $ steps_arg)
+    Term.(const run $ engine_args () $ gains_args $ lo_arg $ hi_arg
+          $ steps_arg)
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let profile_cmd =
+  let workload_arg =
+    Arg.(value & opt string "figures"
+         & info [ "workload" ] ~docv:"W"
+             ~doc:"Workload to run under the profiler: $(b,figures) (a \
+                   reduced figure pass plus a short event-driven \
+                   simulation), $(b,sweep) (a power sweep of every \
+                   protocol), or $(b,netsim) (the event-driven simulator \
+                   alone).")
+  in
+  let run engine workload =
+    with_engine engine @@ fun () ->
+    let netsim blocks =
+      ignore
+        (Netsim.Detailed.run
+           (Netsim.Runner.default_config ~protocol:Bidir.Protocol.Tdbc
+              ~power_db:10. ~gains:Channel.Gains.paper_fig4 ~blocks
+              ~block_symbols:1_000 ()))
+    in
+    (match workload with
+    | "figures" ->
+      (* touches every instrumented layer: pool fan-out, LP solves,
+         memo caches, figure spans, then the discrete-event loop *)
+      Engine.Stats.timed "profile:figures" (fun () ->
+          ignore (Bidir.Figures.fig3 ~samples:9 ());
+          ignore (Bidir.Figures.fig4 ~power_db:0. ());
+          ignore (Bidir.Figures.gap_table ()));
+      Engine.Stats.timed "profile:netsim" (fun () -> netsim 20)
+    | "sweep" ->
+      Engine.Stats.timed "profile:sweep" (fun () ->
+          Array.iter
+            (fun power_db ->
+              let s =
+                Bidir.Gaussian.scenario ~power_db
+                  ~gains:Channel.Gains.paper_fig4
+              in
+              ignore (Bidir.Optimize.all_sum_rates Bidir.Bound.Inner s))
+            (Numerics.Float_utils.linspace (-10.) 25. 36))
+    | "netsim" ->
+      Engine.Stats.timed "profile:netsim" (fun () -> netsim 200)
+    | other ->
+      Printf.eprintf "unknown workload %S (figures|sweep|netsim)\n" other;
+      exit 2);
+    print_string (Telemetry.Metrics.to_text ())
+  in
+  let doc =
+    "Run an instrumented workload and report telemetry (counters, \
+     histogram percentiles; optionally a Chrome trace)."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ engine_args ~default_domains:2 () $ workload_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -466,7 +579,7 @@ let main_cmd =
   let info = Cmd.info "bidir" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ figures_cmd; sumrate_cmd; region_cmd; simulate_cmd; sweep_cmd;
-      select_cmd; arq_cmd ]
+      select_cmd; arq_cmd; profile_cmd ]
 
 let () =
   Fmt_tty.setup_std_outputs ();

@@ -17,7 +17,12 @@ type table = {
 
 let fmt_f v = Printf.sprintf "%.4f" v
 
+(* Every generator runs under a span so a trace of a figure pass shows
+   one bar per artifact with the LP / region work nested beneath it. *)
+let span name f = Telemetry.Span.with_span ~cat:"figures" name f
+
 let fig3 ?(power_db = 15.) ?(exponent = 3.) ?(samples = 37) () =
+  span "figures.fig3" @@ fun () ->
   let pl = Channel.Pathloss.make ~exponent () in
   let positions =
     Array.to_list (Numerics.Float_utils.linspace 0.05 0.95 samples)
@@ -54,6 +59,7 @@ let fig3 ?(power_db = 15.) ?(exponent = 3.) ?(samples = 37) () =
   }
 
 let fig3_snr ?(gains = Channel.Gains.paper_fig4) ?(samples = 36) () =
+  span "figures.fig3_snr" @@ fun () ->
   let powers = Array.to_list (Numerics.Float_utils.linspace (-10.) 25. samples) in
   let per_power =
     Engine.Pool.map
@@ -87,6 +93,7 @@ let boundary_points b =
     (Rate_region.boundary b)
 
 let fig4 ~power_db ?(gains = Channel.Gains.paper_fig4) () =
+  span "figures.fig4" @@ fun () ->
   let s = Gaussian.scenario ~power_db ~gains in
   let inner p =
     { label = Protocol.name p ^ " inner";
@@ -118,6 +125,7 @@ let fig4 ~power_db ?(gains = Channel.Gains.paper_fig4) () =
 
 let gap_table ?(powers_db = [ 0.; 5.; 10.; 15. ]) ?(gains = Channel.Gains.paper_fig4)
     () =
+  span "figures.gap_table" @@ fun () ->
   let jobs =
     List.concat_map
       (fun power_db ->
@@ -148,6 +156,7 @@ let gap_table ?(powers_db = [ 0.; 5.; 10.; 15. ]) ?(gains = Channel.Gains.paper_
   }
 
 let crossover_table ?(gains = Channel.Gains.paper_fig4) () =
+  span "figures.crossover_table" @@ fun () ->
   let pairs =
     [ (Protocol.Mabc, Protocol.Tdbc);
       (Protocol.Mabc, Protocol.Dt);
@@ -200,6 +209,7 @@ let crossover_table ?(gains = Channel.Gains.paper_fig4) () =
 
 let hbc_witness_table ?(powers_db = [ 0.; 5.; 10. ])
     ?(gains = Channel.Gains.paper_fig4) () =
+  span "figures.hbc_witness_table" @@ fun () ->
   let rows =
     List.map
       (fun power_db ->
@@ -225,6 +235,7 @@ let hbc_witness_table ?(powers_db = [ 0.; 5.; 10. ])
 
 let coding_gain_table ?(powers_db = [ 0.; 5.; 10.; 15. ])
     ?(gains = Channel.Gains.paper_fig4) () =
+  span "figures.coding_gain_table" @@ fun () ->
   let rows =
     List.map
       (fun power_db ->
@@ -253,6 +264,7 @@ let coding_gain_table ?(powers_db = [ 0.; 5.; 10.; 15. ])
   }
 
 let discrete_table ?(p_range = [ 0.01; 0.05; 0.1; 0.2 ]) () =
+  span "figures.discrete_table" @@ fun () ->
   let rows =
     List.concat_map
       (fun p ->

@@ -14,12 +14,18 @@ type sum_rate_result = {
 let sum_rate_cache :
     (Protocol.t * Bound.kind * Gaussian.scenario, sum_rate_result)
     Engine.Memo.t =
-  Engine.Memo.create ()
+  Engine.Memo.create ~name:"optimize.sum_rate" ()
 
 let sum_rate protocol kind scenario =
   let r =
     Engine.Memo.find_or_add sum_rate_cache (protocol, kind, scenario)
       (fun () ->
+        Telemetry.Span.with_span ~cat:"optimize" "optimize.sum_rate"
+          ~args:
+            [ ("protocol", Telemetry.Json.String (Protocol.name protocol));
+              ("bound", Telemetry.Json.String (Bound.kind_name kind));
+            ]
+        @@ fun () ->
         let b = Gaussian.bounds protocol kind scenario in
         let r = Rate_region.max_sum_rate b in
         { protocol;
@@ -53,6 +59,8 @@ let crossover_powers_db ?(lo_db = -10.) ?(hi_db = 25.) ?(samples = 141)
   Numerics.Root.crossings ~f:diff ~lo:lo_db ~hi:hi_db ~samples
 
 let hbc_strict_advantage_uncached scenario =
+  Telemetry.Span.with_span ~cat:"optimize" "optimize.hbc_advantage"
+  @@ fun () ->
   let hbc = Gaussian.bounds Protocol.Hbc Bound.Inner scenario in
   let mabc_outer = Gaussian.bounds Protocol.Mabc Bound.Outer scenario in
   let tdbc_outer = Gaussian.bounds Protocol.Tdbc Bound.Outer scenario in
@@ -91,7 +99,7 @@ let hbc_strict_advantage_uncached scenario =
    the scenario, so its verdict is cached whole. *)
 let hbc_advantage_cache :
     (Gaussian.scenario, (float * float * float) option) Engine.Memo.t =
-  Engine.Memo.create ()
+  Engine.Memo.create ~name:"optimize.hbc_advantage" ()
 
 let hbc_strict_advantage scenario =
   Engine.Memo.find_or_add hbc_advantage_cache scenario (fun () ->

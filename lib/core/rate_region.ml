@@ -40,10 +40,10 @@ let bound_key (b : Bound.t) =
   Buffer.contents buf
 
 let weighted_cache : (string * float * float, opt_result) Engine.Memo.t =
-  Engine.Memo.create ()
+  Engine.Memo.create ~name:"rate_region.weighted" ()
 
 let feasibility_cache : (string * float * float, bool) Engine.Memo.t =
-  Engine.Memo.create ()
+  Engine.Memo.create ~name:"rate_region.feasibility" ()
 
 (* Boundary sweeps and their down-closures are cached whole: the warm
    path of a figure pass is dominated not by LP solves (those hit
@@ -52,10 +52,10 @@ let feasibility_cache : (string * float * float, bool) Engine.Memo.t =
    passes cheap. Both store immutable [Vec2.t] lists, so hits can share
    structure safely. *)
 let boundary_cache : (string * int, Numerics.Vec2.t list) Engine.Memo.t =
-  Engine.Memo.create ()
+  Engine.Memo.create ~name:"rate_region.boundary" ()
 
 let polygon_cache : (string * int, Numerics.Vec2.t list) Engine.Memo.t =
-  Engine.Memo.create ()
+  Engine.Memo.create ~name:"rate_region.polygon" ()
 
 let clear_cache () =
   Engine.Memo.clear weighted_cache;
@@ -63,8 +63,16 @@ let clear_cache () =
   Engine.Memo.clear boundary_cache;
   Engine.Memo.clear polygon_cache
 
+(* Latency of every LP actually solved (weighted optima and
+   feasibility probes alike); memo hits never reach this. *)
+let lp_seconds = Telemetry.Metrics.histogram "lp.solve_seconds"
+
 let solve_weighted b ~wa ~wb =
   Engine.Stats.record_lp_solve ();
+  Telemetry.Span.with_span ~cat:"lp" "lp.solve"
+  @@ fun () ->
+  Telemetry.Metrics.time lp_seconds
+  @@ fun () ->
   let nvars, constrs = lp_constraints b in
   let c = Array.make nvars 0. in
   c.(0) <- wa;
@@ -106,6 +114,10 @@ let max_rb b = max_rb_keyed ~key:(bound_key b) b
 
 let probe_achievable b ~ra ~rb =
   Engine.Stats.record_lp_solve ();
+  Telemetry.Span.with_span ~cat:"lp" "lp.probe"
+  @@ fun () ->
+  Telemetry.Metrics.time lp_seconds
+  @@ fun () ->
   (* project out the rates: constraints over the durations only *)
   let l = b.Bound.num_phases in
   let of_term (t : Bound.term) =
@@ -160,6 +172,9 @@ let default_weights = 65
 
 let boundary_keyed ~key ?(weights = default_weights) b =
   Engine.Memo.find_or_add boundary_cache (key, weights) (fun () ->
+      Telemetry.Span.with_span ~cat:"region" "region.boundary"
+        ~args:[ ("weights", Telemetry.Json.Int weights) ]
+      @@ fun () ->
       let all =
         sweep_results ~caller:"Rate_region.boundary" ~key ~weights b
       in
@@ -173,7 +188,8 @@ let boundary ?weights b = boundary_keyed ~key:(bound_key b) ?weights b
 
 let polygon_keyed ~key ?(weights = default_weights) b =
   Engine.Memo.find_or_add polygon_cache (key, weights) (fun () ->
-      Numerics.Polygon.down_closure (boundary_keyed ~key ~weights b))
+      Telemetry.Span.with_span ~cat:"region" "region.polygon" (fun () ->
+          Numerics.Polygon.down_closure (boundary_keyed ~key ~weights b)))
 
 let polygon ?weights b = polygon_keyed ~key:(bound_key b) ?weights b
 

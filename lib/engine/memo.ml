@@ -1,4 +1,11 @@
-type ('k, 'v) t = { lock : Mutex.t; tbl : ('k, 'v) Hashtbl.t }
+type ('k, 'v) t = {
+  lock : Mutex.t;
+  tbl : ('k, 'v) Hashtbl.t;
+  (* per-table hit/miss counters in the telemetry registry, present
+     when the table was created with ~name *)
+  hits : Telemetry.Metrics.counter option;
+  misses : Telemetry.Metrics.counter option;
+}
 
 let global_enabled = Atomic.make true
 
@@ -21,8 +28,19 @@ let clear t =
 let registry : (unit -> unit) list ref = ref []
 let registry_lock = Mutex.create ()
 
-let create ?(size = 256) () =
-  let t = { lock = Mutex.create (); tbl = Hashtbl.create size } in
+let create ?name ?(size = 256) () =
+  let metric kind =
+    Option.map
+      (fun n -> Telemetry.Metrics.counter (Printf.sprintf "memo.%s.%s" n kind))
+      name
+  in
+  let t =
+    { lock = Mutex.create ();
+      tbl = Hashtbl.create size;
+      hits = metric "hits";
+      misses = metric "misses";
+    }
+  in
   Mutex.lock registry_lock;
   registry := (fun () -> clear t) :: !registry;
   Mutex.unlock registry_lock;
@@ -40,6 +58,10 @@ let length t =
   Mutex.unlock t.lock;
   n
 
+let bump = function
+  | Some c -> Telemetry.Metrics.incr c
+  | None -> ()
+
 let find_or_add t k compute =
   if not (enabled ()) then compute ()
   else begin
@@ -48,10 +70,12 @@ let find_or_add t k compute =
     | Some v ->
       Mutex.unlock t.lock;
       Stats.record_hit ();
+      bump t.hits;
       v
     | None ->
       Mutex.unlock t.lock;
       Stats.record_miss ();
+      bump t.misses;
       let v = compute () in
       Mutex.lock t.lock;
       let stored =

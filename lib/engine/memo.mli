@@ -15,9 +15,13 @@
 
 type ('k, 'v) t
 
-val create : ?size:int -> unit -> ('k, 'v) t
+val create : ?name:string -> ?size:int -> unit -> ('k, 'v) t
 (** [size] is the initial hash-table capacity (default 256). Keys are
-    compared with structural equality and hashed with [Hashtbl.hash]. *)
+    compared with structural equality and hashed with [Hashtbl.hash].
+    When [name] is given the table additionally maintains its own
+    [memo.<name>.hits] / [memo.<name>.misses] counters in the
+    {!Telemetry.Metrics} registry, so per-cache hit rates show up in
+    [--metrics] output alongside the global totals in {!Stats}. *)
 
 val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 (** [find_or_add t k compute] returns the cached value for [k], or runs

@@ -62,6 +62,10 @@ let ensure_workers n =
   done;
   Mutex.unlock pool_lock
 
+(* Wall time per executed chunk (caller's and workers'); parallel maps
+   only, so an empty histogram means every map ran sequentially. *)
+let chunk_seconds = Telemetry.Metrics.histogram "engine.pool.chunk_seconds"
+
 let map_array ?domains f items =
   let n = Array.length items in
   let d =
@@ -71,9 +75,19 @@ let map_array ?domains f items =
     | None -> default_domains ()
   in
   let d = min d n in
+  (* The span wraps both branches so a trace contains the same pool.map
+     span set whatever the domain count — only the chunk spans below it
+     (cat "pool") vary with d. *)
+  Telemetry.Span.with_span ~cat:"pool" "pool.map"
+    ~args:[ ("items", Telemetry.Json.Int n); ("domains", Telemetry.Json.Int d) ]
+  @@ fun () ->
   if d <= 1 || Domain.DLS.get in_worker then Array.map f items
   else begin
     Stats.record_pool_tasks n;
+    (* capture the caller's span context so spans opened inside pool
+       tasks report this map's enclosing span as their logical parent,
+       whichever domain they run on *)
+    let span_ctx = Telemetry.Span.context () in
     ensure_workers (d - 1);
     let results = Array.make n None in
     let first_error = Atomic.make None in
@@ -83,9 +97,18 @@ let map_array ?domains f items =
     let run_chunk k =
       (try
          (* chunk k owns indices [k*n/d, (k+1)*n/d) *)
-         for i = k * n / d to ((k + 1) * n / d) - 1 do
-           results.(i) <- Some (f items.(i))
-         done
+         let body () =
+           Telemetry.Metrics.time chunk_seconds (fun () ->
+               Telemetry.Span.with_span ~cat:"pool" "pool.chunk"
+                 ~args:[ ("chunk", Telemetry.Json.Int k) ]
+                 (fun () ->
+                   for i = k * n / d to ((k + 1) * n / d) - 1 do
+                     results.(i) <- Some (f items.(i))
+                   done))
+         in
+         if Telemetry.Span.enabled () then
+           Telemetry.Span.with_context span_ctx body
+         else body ()
        with e -> ignore (Atomic.compare_and_set first_error None (Some e)));
       if Atomic.fetch_and_add remaining (-1) = 1 then begin
         Mutex.lock done_lock;

@@ -13,7 +13,14 @@
     created on first parallel use, parked on a condition variable
     between maps, and joined by an [at_exit] hook. Nested calls (an
     [f] that itself calls {!map}) run sequentially inside the worker
-    instead of queueing, which would deadlock a fully-busy pool. *)
+    instead of queueing, which would deadlock a fully-busy pool.
+
+    Telemetry: every map (parallel or not) runs under a [pool.map]
+    span; each executed chunk of a parallel map additionally records a
+    [pool.chunk] span and its duration in the
+    [engine.pool.chunk_seconds] histogram. The caller's span context is
+    captured before fan-out and installed in each chunk, so spans
+    opened inside tasks keep their logical parent across domains. *)
 
 val set_default_domains : int -> unit
 (** Set the domain count used when [?domains] is omitted. Raises

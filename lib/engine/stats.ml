@@ -1,3 +1,9 @@
+(* Thin view over the telemetry metrics registry: the engine's historic
+   counters are ordinary registered counters, and phase timers are
+   registered histograms under "phase.<label>". The snapshot/to_string
+   API (and its output format) is unchanged from the pre-telemetry
+   implementation, so callers of --stats see the same block. *)
+
 type snapshot = {
   lp_solves : int;
   cache_hits : int;
@@ -6,56 +12,47 @@ type snapshot = {
   phases : (string * float) list;
 }
 
-let lp_solves = Atomic.make 0
-let cache_hits = Atomic.make 0
-let cache_misses = Atomic.make 0
-let pool_tasks = Atomic.make 0
+let lp_solves = Telemetry.Metrics.counter "engine.lp_solves"
+let cache_hits = Telemetry.Metrics.counter "engine.cache_hits"
+let cache_misses = Telemetry.Metrics.counter "engine.cache_misses"
+let pool_tasks = Telemetry.Metrics.counter "engine.pool_tasks"
 
-let phase_lock = Mutex.create ()
-let phase_acc : (string, float ref) Hashtbl.t = Hashtbl.create 16
+let record_lp_solve () = Telemetry.Metrics.incr lp_solves
+let record_hit () = Telemetry.Metrics.incr cache_hits
+let record_miss () = Telemetry.Metrics.incr cache_misses
+let record_pool_tasks n = Telemetry.Metrics.add pool_tasks n
 
-let record_lp_solve () = Atomic.incr lp_solves
-let record_hit () = Atomic.incr cache_hits
-let record_miss () = Atomic.incr cache_misses
-
-let record_pool_tasks n =
-  ignore (Atomic.fetch_and_add pool_tasks n : int)
-
-let add_phase_time label dt =
-  Mutex.lock phase_lock;
-  (match Hashtbl.find_opt phase_acc label with
-  | Some r -> r := !r +. dt
-  | None -> Hashtbl.add phase_acc label (ref dt));
-  Mutex.unlock phase_lock
+let phase_prefix = "phase."
 
 let timed label f =
-  let t0 = Unix.gettimeofday () in
-  Fun.protect
-    ~finally:(fun () -> add_phase_time label (Unix.gettimeofday () -. t0))
+  Telemetry.Metrics.time
+    (Telemetry.Metrics.histogram (phase_prefix ^ label))
     f
 
 let snapshot () =
+  let plen = String.length phase_prefix in
   let phases =
-    Mutex.lock phase_lock;
-    let acc = Hashtbl.fold (fun k r l -> (k, !r) :: l) phase_acc [] in
-    Mutex.unlock phase_lock;
-    List.sort (fun (a, _) (b, _) -> compare a b) acc
+    List.filter_map
+      (fun (name, h) ->
+        if
+          String.length name > plen
+          && String.sub name 0 plen = phase_prefix
+          && Telemetry.Histogram.count h > 0
+        then
+          Some
+            (String.sub name plen (String.length name - plen),
+             Telemetry.Histogram.sum h)
+        else None)
+      (Telemetry.Metrics.histograms ())
   in
-  { lp_solves = Atomic.get lp_solves;
-    cache_hits = Atomic.get cache_hits;
-    cache_misses = Atomic.get cache_misses;
-    pool_tasks = Atomic.get pool_tasks;
+  { lp_solves = Telemetry.Metrics.value lp_solves;
+    cache_hits = Telemetry.Metrics.value cache_hits;
+    cache_misses = Telemetry.Metrics.value cache_misses;
+    pool_tasks = Telemetry.Metrics.value pool_tasks;
     phases;
   }
 
-let reset () =
-  Atomic.set lp_solves 0;
-  Atomic.set cache_hits 0;
-  Atomic.set cache_misses 0;
-  Atomic.set pool_tasks 0;
-  Mutex.lock phase_lock;
-  Hashtbl.reset phase_acc;
-  Mutex.unlock phase_lock
+let reset () = Telemetry.Metrics.reset ()
 
 let hit_rate s =
   let total = s.cache_hits + s.cache_misses in

@@ -1,7 +1,14 @@
 (** Engine instrumentation: global (process-wide) counters for LP
     solves, cache hits/misses and pool tasks, plus accumulated wall
     time per named phase. All counters are atomic and safe to update
-    from any domain. *)
+    from any domain.
+
+    Since the telemetry subsystem landed this module is a view over
+    {!Telemetry.Metrics}: the counters are registered under [engine.*],
+    phase timers are histograms under [phase.<label>] (so [--metrics]
+    exports them with percentiles), and {!reset} resets the whole
+    registry. The snapshot/[to_string] surface and output format are
+    unchanged. *)
 
 type snapshot = {
   lp_solves : int;       (** simplex invocations actually performed *)
@@ -26,7 +33,8 @@ val snapshot : unit -> snapshot
 (** Consistent read of all counters. *)
 
 val reset : unit -> unit
-(** Zero every counter and drop all phase accumulators. *)
+(** Zero every counter and phase accumulator (resets the whole
+    {!Telemetry.Metrics} registry, which these live in). *)
 
 val hit_rate : snapshot -> float
 (** [hits / (hits + misses)], or 0 when no lookups were recorded. *)

@@ -20,9 +20,26 @@ type tableau = {
   ncols : int;                (* structural + slack + artificial columns *)
   mutable nrows : int;        (* rows may be dropped when redundant *)
   allowed : bool array;
+  mutable pivots : int;       (* pivot operations over both phases *)
 }
 
+(* Telemetry only observes (counters and a per-solve pivot histogram);
+   all tableau state stays per-call, so the purity/re-entrancy contract
+   documented in docs/ENGINE.md is unaffected. *)
+let solves_counter = Telemetry.Metrics.counter "linprog.solves"
+let pivots_counter = Telemetry.Metrics.counter "linprog.pivots"
+
+let pivots_per_solve =
+  Telemetry.Metrics.histogram ~lo:1. ~growth:2. ~buckets:24
+    "linprog.pivots_per_solve"
+
+let record_solve t =
+  Telemetry.Metrics.incr solves_counter;
+  Telemetry.Metrics.add pivots_counter t.pivots;
+  Telemetry.Metrics.observe pivots_per_solve (float_of_int t.pivots)
+
 let pivot t ~row ~col =
+  t.pivots <- t.pivots + 1;
   let r = t.rows.(row) in
   let p = r.(col) in
   for j = 0 to t.ncols do
@@ -193,7 +210,13 @@ let build_tableau ~nvars ~constrs =
         incr art))
     normalised;
   let t =
-    { rows; basis; ncols; nrows = m; allowed = Array.make ncols true }
+    { rows;
+      basis;
+      ncols;
+      nrows = m;
+      allowed = Array.make ncols true;
+      pivots = 0;
+    }
   in
   (t, first_artificial)
 
@@ -208,7 +231,10 @@ let maximize ~c ~constrs =
   (match run_phase t phase1_cost with
   | `Unbounded -> assert false (* phase-1 objective is bounded above by 0 *)
   | `Optimal -> ());
-  if objective_value t phase1_cost < -.eps then Infeasible
+  if objective_value t phase1_cost < -.eps then begin
+    record_solve t;
+    Infeasible
+  end
   else begin
     drive_out_artificials t ~first_artificial;
     for j = first_artificial to t.ncols - 1 do
@@ -216,14 +242,18 @@ let maximize ~c ~constrs =
     done;
     let phase2_cost = Array.make t.ncols 0. in
     Array.blit c 0 phase2_cost 0 nvars;
-    match run_phase t phase2_cost with
-    | `Unbounded -> Unbounded
-    | `Optimal ->
-      let x = Array.make nvars 0. in
-      for i = 0 to t.nrows - 1 do
-        if t.basis.(i) < nvars then x.(t.basis.(i)) <- t.rows.(i).(t.ncols)
-      done;
-      Optimal { x; objective = objective_value t phase2_cost }
+    let outcome =
+      match run_phase t phase2_cost with
+      | `Unbounded -> Unbounded
+      | `Optimal ->
+        let x = Array.make nvars 0. in
+        for i = 0 to t.nrows - 1 do
+          if t.basis.(i) < nvars then x.(t.basis.(i)) <- t.rows.(i).(t.ncols)
+        done;
+        Optimal { x; objective = objective_value t phase2_cost }
+    in
+    record_solve t;
+    outcome
   end
 
 let minimize ~c ~constrs =

@@ -10,11 +10,16 @@
     {b Thread-safety contract:} the solver is pure and re-entrant. All
     tableau state is allocated per call, input [coeffs] arrays are
     copied into the tableau (never mutated), and the module holds no
-    global mutable state — so any number of domains may call
-    {!maximize}, {!minimize} and {!feasible} concurrently, and a given
-    input always produces the same output bit-for-bit. The parallel
-    sweep engine ([Engine.Pool] / [Rate_region]) relies on both
-    properties; see [docs/ENGINE.md]. *)
+    result-affecting global mutable state — so any number of domains
+    may call {!maximize}, {!minimize} and {!feasible} concurrently, and
+    a given input always produces the same output bit-for-bit. The
+    parallel sweep engine ([Engine.Pool] / [Rate_region]) relies on
+    both properties; see [docs/ENGINE.md].
+
+    {b Telemetry:} every solve updates the [linprog.solves] and
+    [linprog.pivots] counters and the [linprog.pivots_per_solve]
+    histogram in {!Telemetry.Metrics}. These are atomic, write-only
+    observations and never influence the solution path. *)
 
 type relation = Le | Ge | Eq
 

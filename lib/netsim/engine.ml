@@ -1,5 +1,14 @@
 type t = { queue : (unit -> unit) Event_queue.t; mutable clock : float }
 
+(* Event-loop telemetry: how many events fired and how deep the queue
+   sits when they do. Virtual time is untouched, so instrumentation can
+   never perturb simulation results. *)
+let events_counter = Telemetry.Metrics.counter "netsim.events"
+
+let queue_depth =
+  Telemetry.Metrics.histogram ~lo:1. ~growth:2. ~buckets:32
+    "netsim.queue_depth"
+
 let create () = { queue = Event_queue.create (); clock = 0. }
 
 let now t = t.clock
@@ -16,11 +25,16 @@ let step t =
   match Event_queue.pop t.queue with
   | None -> false
   | Some (time, handler) ->
+    Telemetry.Metrics.incr events_counter;
+    Telemetry.Metrics.observe queue_depth
+      (float_of_int (Event_queue.size t.queue));
     t.clock <- time;
     handler ();
     true
 
 let run ?until t =
+  Telemetry.Span.with_span ~cat:"netsim" "netsim.run"
+  @@ fun () ->
   let continue () =
     match (until, Event_queue.peek_time t.queue) with
     | _, None -> false

@@ -7,6 +7,10 @@ type t = {
   mutable deliveries_failed : int;
   mutable bit_errors : int;
   phase_outages : (int, int) Hashtbl.t;
+  (* per-block delivered-bit distribution, shared with the telemetry
+     layer so netsim quotes percentiles the same way everything else
+     does (unregistered: each simulation owns its own histogram) *)
+  block_bits : Telemetry.Histogram.t;
 }
 
 let create () =
@@ -18,21 +22,25 @@ let create () =
     deliveries_failed = 0;
     bit_errors = 0;
     phase_outages = Hashtbl.create 8;
+    block_bits = Telemetry.Histogram.create ~lo:1. ~growth:2. ~buckets:32 ();
   }
 
 let record_block t ~symbols ~bits_a ~bits_b ~delivered_a ~delivered_b =
   t.blocks <- t.blocks + 1;
   t.symbols <- t.symbols + symbols;
   t.offered_bits <- t.offered_bits + bits_a + bits_b;
+  let delivered = ref 0 in
   let account bits ok =
     if ok then begin
       t.delivered_bits <- t.delivered_bits + bits;
+      delivered := !delivered + bits;
       t.deliveries_ok <- t.deliveries_ok + 1
     end
     else t.deliveries_failed <- t.deliveries_failed + 1
   in
   account bits_a delivered_a;
-  account bits_b delivered_b
+  account bits_b delivered_b;
+  Telemetry.Histogram.observe t.block_bits (float_of_int !delivered)
 
 let record_phase_outage t ~phase =
   let current = Option.value ~default:0 (Hashtbl.find_opt t.phase_outages phase) in
@@ -58,6 +66,34 @@ let phase_outages t =
   |> List.sort compare
 
 let bit_errors t = t.bit_errors
+
+let block_bits_histogram t = t.block_bits
+
+let block_bits_percentiles t = Telemetry.Histogram.percentiles t.block_bits
+
+let merge a b =
+  let t = create () in
+  t.blocks <- a.blocks + b.blocks;
+  t.symbols <- a.symbols + b.symbols;
+  t.delivered_bits <- a.delivered_bits + b.delivered_bits;
+  t.offered_bits <- a.offered_bits + b.offered_bits;
+  t.deliveries_ok <- a.deliveries_ok + b.deliveries_ok;
+  t.deliveries_failed <- a.deliveries_failed + b.deliveries_failed;
+  t.bit_errors <- a.bit_errors + b.bit_errors;
+  let add_outages src =
+    Hashtbl.iter
+      (fun phase count ->
+        let current =
+          Option.value ~default:0 (Hashtbl.find_opt t.phase_outages phase)
+        in
+        Hashtbl.replace t.phase_outages phase (current + count))
+      src.phase_outages
+  in
+  add_outages a;
+  add_outages b;
+  { t with
+    block_bits = Telemetry.Histogram.merge a.block_bits b.block_bits;
+  }
 
 let pp fmt t =
   Format.fprintf fmt

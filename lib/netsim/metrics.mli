@@ -31,4 +31,16 @@ val phase_outages : t -> (int * int) list
 
 val bit_errors : t -> int
 
+val block_bits_histogram : t -> Telemetry.Histogram.t
+(** Distribution of delivered bits per block (both directions summed),
+    backed by the shared telemetry histogram type. The histogram is
+    owned by this [t] and not registered globally. *)
+
+val block_bits_percentiles : t -> float * float * float
+(** (p50, p90, p99) of delivered bits per block. *)
+
+val merge : t -> t -> t
+(** Combine two independent simulation runs into fresh totals; the
+    inputs are left untouched. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,147 @@
+type t = {
+  lo : float;
+  growth : float;
+  log_growth : float;
+  nbuckets : int;
+  counts : int Atomic.t array;
+  total : int Atomic.t;
+  sum_cell : float Atomic.t;
+  min_cell : float Atomic.t;
+  max_cell : float Atomic.t;
+}
+
+let create ?(lo = 1e-6) ?(growth = Float.pow 2. 0.25) ?(buckets = 128) () =
+  if lo <= 0. then invalid_arg "Histogram.create: lo <= 0";
+  if growth <= 1. then invalid_arg "Histogram.create: growth <= 1";
+  if buckets < 2 then invalid_arg "Histogram.create: buckets < 2";
+  { lo;
+    growth;
+    log_growth = log growth;
+    nbuckets = buckets;
+    counts = Array.init buckets (fun _ -> Atomic.make 0);
+    total = Atomic.make 0;
+    sum_cell = Atomic.make 0.;
+    min_cell = Atomic.make infinity;
+    max_cell = Atomic.make neg_infinity;
+  }
+
+let num_buckets t = t.nbuckets
+
+let bucket_lower_bound t i =
+  if i <= 0 then 0. else t.lo *. Float.pow t.growth (float_of_int (i - 1))
+
+(* log-based index with a comparison fix-up so exact bucket boundaries
+   always land in the bucket they open, despite float log error *)
+let bucket_index t v =
+  if Float.is_nan v || v < t.lo then 0
+  else begin
+    let raw =
+      1 + int_of_float (Float.floor (log (v /. t.lo) /. t.log_growth))
+    in
+    let i = max 1 (min (t.nbuckets - 1) raw) in
+    let i = if i > 1 && v < bucket_lower_bound t i then i - 1 else i in
+    let i =
+      if i < t.nbuckets - 1 && v >= bucket_lower_bound t (i + 1) then i + 1
+      else i
+    in
+    i
+  end
+
+let rec atomic_add_float cell x =
+  let cur = Atomic.get cell in
+  if not (Atomic.compare_and_set cell cur (cur +. x)) then
+    atomic_add_float cell x
+
+let rec atomic_update cell better x =
+  let cur = Atomic.get cell in
+  if better x cur && not (Atomic.compare_and_set cell cur x) then
+    atomic_update cell better x
+
+let observe t v =
+  Atomic.incr t.counts.(bucket_index t v);
+  Atomic.incr t.total;
+  atomic_add_float t.sum_cell v;
+  atomic_update t.min_cell ( < ) v;
+  atomic_update t.max_cell ( > ) v
+
+let count t = Atomic.get t.total
+let sum t = Atomic.get t.sum_cell
+let mean t = if count t = 0 then 0. else sum t /. float_of_int (count t)
+let min_value t = if count t = 0 then 0. else Atomic.get t.min_cell
+let max_value t = if count t = 0 then 0. else Atomic.get t.max_cell
+
+let quantile t p =
+  let n = count t in
+  if n = 0 then 0.
+  else begin
+    let target =
+      max 1 (min n (int_of_float (Float.ceil (p *. float_of_int n))))
+    in
+    let rec find i acc =
+      if i >= t.nbuckets - 1 then t.nbuckets - 1
+      else begin
+        let acc = acc + Atomic.get t.counts.(i) in
+        if acc >= target then i else find (i + 1) acc
+      end
+    in
+    let i = find 0 0 in
+    let estimate =
+      if i = 0 then t.lo
+      else if i = t.nbuckets - 1 then bucket_lower_bound t i
+      else sqrt (bucket_lower_bound t i *. bucket_lower_bound t (i + 1))
+    in
+    Float.min (max_value t) (Float.max (min_value t) estimate)
+  end
+
+let percentiles t = (quantile t 0.5, quantile t 0.9, quantile t 0.99)
+
+let same_geometry a b =
+  a.lo = b.lo && a.growth = b.growth && a.nbuckets = b.nbuckets
+
+let merge a b =
+  if not (same_geometry a b) then
+    invalid_arg "Histogram.merge: geometry mismatch";
+  let t = create ~lo:a.lo ~growth:a.growth ~buckets:a.nbuckets () in
+  for i = 0 to t.nbuckets - 1 do
+    Atomic.set t.counts.(i) (Atomic.get a.counts.(i) + Atomic.get b.counts.(i))
+  done;
+  Atomic.set t.total (count a + count b);
+  Atomic.set t.sum_cell (sum a +. sum b);
+  Atomic.set t.min_cell (Float.min (Atomic.get a.min_cell) (Atomic.get b.min_cell));
+  Atomic.set t.max_cell (Float.max (Atomic.get a.max_cell) (Atomic.get b.max_cell));
+  t
+
+let reset t =
+  Array.iter (fun c -> Atomic.set c 0) t.counts;
+  Atomic.set t.total 0;
+  Atomic.set t.sum_cell 0.;
+  Atomic.set t.min_cell infinity;
+  Atomic.set t.max_cell neg_infinity
+
+let bucket_counts t = Array.map Atomic.get t.counts
+
+let nonzero_buckets t =
+  let acc = ref [] in
+  for i = t.nbuckets - 1 downto 0 do
+    let c = Atomic.get t.counts.(i) in
+    if c > 0 then acc := (bucket_lower_bound t i, c) :: !acc
+  done;
+  !acc
+
+let to_json t =
+  let p50, p90, p99 = percentiles t in
+  Json.Obj
+    [ ("count", Json.Int (count t));
+      ("sum", Json.Float (sum t));
+      ("mean", Json.Float (mean t));
+      ("min", Json.Float (min_value t));
+      ("max", Json.Float (max_value t));
+      ("p50", Json.Float p50);
+      ("p90", Json.Float p90);
+      ("p99", Json.Float p99);
+      ("buckets",
+       Json.List
+         (List.map
+            (fun (lb, c) -> Json.List [ Json.Float lb; Json.Int c ])
+            (nonzero_buckets t)));
+    ]

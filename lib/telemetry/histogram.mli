@@ -1,0 +1,71 @@
+(** Fixed-geometry log-bucket histograms.
+
+    A histogram owns [buckets] counters over geometric value ranges:
+    bucket [0] is the underflow range [(-inf, lo)], bucket [i] for
+    [0 < i < buckets - 1] covers [[lo * growth^(i-1), lo * growth^i)],
+    and the last bucket is the overflow range. Observations touch only
+    atomic cells, so any number of domains may observe concurrently and
+    histograms with the same geometry merge exactly (bucket-wise).
+
+    Quantiles are estimated from bucket boundaries (geometric midpoint
+    of the covering bucket) and clamped to the observed [min, max] — so
+    a single-sample histogram reports that sample exactly, and every
+    estimate lies within one [growth] factor of the true value. *)
+
+type t
+
+val create : ?lo:float -> ?growth:float -> ?buckets:int -> unit -> t
+(** [lo] is the lower bound of the first finite bucket (default 1e-6 —
+    a microsecond when observing seconds), [growth] the bucket width
+    ratio (default [2^0.25], about 19% resolution), [buckets] the total
+    bucket count including under/overflow (default 128, spanning about
+    [1e-6 .. 3e3] at the defaults). Raises [Invalid_argument] on
+    [lo <= 0], [growth <= 1] or [buckets < 2]. *)
+
+val observe : t -> float -> unit
+(** Record one sample. Lock-free; safe from any domain. *)
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+(** 0 when empty. *)
+
+val min_value : t -> float
+val max_value : t -> float
+(** Smallest / largest observed sample; 0 when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t p] for [p] in [[0, 1]]; 0 when empty. *)
+
+val percentiles : t -> float * float * float
+(** [(p50, p90, p99)]. *)
+
+val merge : t -> t -> t
+(** Fresh histogram with bucket-wise summed counts. Counts, min and max
+    merge exactly (so merging is associative and commutative on them);
+    sums are float additions. Raises [Invalid_argument] when the two
+    geometries differ. *)
+
+val reset : t -> unit
+
+val same_geometry : t -> t -> bool
+
+val bucket_index : t -> float -> int
+(** The bucket a value lands in; total ordering and the invariant
+    [bucket_lower_bound t i <= v < bucket_lower_bound t (i+1)] hold
+    even at exact bucket boundaries. *)
+
+val bucket_lower_bound : t -> int -> float
+(** Lower bound of bucket [i]; 0 for the underflow bucket. *)
+
+val num_buckets : t -> int
+
+val bucket_counts : t -> int array
+(** Snapshot of all bucket counters. *)
+
+val nonzero_buckets : t -> (float * int) list
+(** [(lower_bound, count)] for every non-empty bucket, ascending. *)
+
+val to_json : t -> Json.t
+(** Object with count/sum/mean/min/max/p50/p90/p99 and the non-empty
+    buckets as [[lower_bound, count]] pairs. *)

@@ -1,0 +1,33 @@
+(** Minimal JSON values: enough to emit metrics/trace files and to
+    validate them in tests, with zero external dependencies.
+
+    Rendering is deterministic (object fields keep their given order),
+    non-finite floats render as [null] so the output is always valid
+    JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering (what the CLI writes to files). *)
+
+val parse : string -> (t, string) result
+(** Strict parser for the grammar [to_string] emits, plus standard JSON
+    it does not (escapes, [\uXXXX], exponents). On failure the [Error]
+    carries a message with a byte offset. Numbers without [.], [e] or
+    [E] parse as [Int] when they fit, [Float] otherwise. *)
+
+val member : string -> t -> t option
+(** [member key json] is the field [key] of an [Obj], [None] otherwise. *)
+
+val equal : t -> t -> bool
+(** Structural equality ([Int 1] and [Float 1.] are distinct). *)

@@ -1,0 +1,330 @@
+(* Tests for the telemetry subsystem: log-bucket histograms, the
+   metrics registry, the JSON emitter/parser, hierarchical spans and
+   the Chrome-trace sink — including the guarantee that the span set a
+   workload produces is independent of the pool's domain count. *)
+
+module H = Telemetry.Histogram
+module J = Telemetry.Json
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Histogram edge cases                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist_empty () =
+  let h = H.create () in
+  Alcotest.(check int) "count" 0 (H.count h);
+  feq "sum" 0. (H.sum h);
+  feq "mean" 0. (H.mean h);
+  let p50, p90, p99 = H.percentiles h in
+  feq "p50" 0. p50;
+  feq "p90" 0. p90;
+  feq "p99" 0. p99
+
+let test_hist_single_sample () =
+  let h = H.create () in
+  H.observe h 0.0123;
+  (* estimates are clamped to [min, max], so one sample reports exactly *)
+  let p50, p90, p99 = H.percentiles h in
+  feq "p50" 0.0123 p50;
+  feq "p90" 0.0123 p90;
+  feq "p99" 0.0123 p99;
+  feq "mean" 0.0123 (H.mean h);
+  feq "min" 0.0123 (H.min_value h);
+  feq "max" 0.0123 (H.max_value h)
+
+let test_hist_bucket_boundaries () =
+  let h = H.create ~lo:1. ~growth:2. ~buckets:8 () in
+  (* below lo: underflow bucket 0 *)
+  Alcotest.(check int) "underflow" 0 (H.bucket_index h 0.5);
+  (* exact boundaries land in the bucket they open *)
+  Alcotest.(check int) "at lo" 1 (H.bucket_index h 1.);
+  Alcotest.(check int) "at 2" 2 (H.bucket_index h 2.);
+  Alcotest.(check int) "at 4" 3 (H.bucket_index h 4.);
+  Alcotest.(check int) "just under 2" 1 (H.bucket_index h 1.9999);
+  (* far beyond the range: overflow bucket *)
+  Alcotest.(check int) "overflow" (H.num_buckets h - 1)
+    (H.bucket_index h 1e12);
+  (* the documented invariant at every index *)
+  List.iter
+    (fun v ->
+      let i = H.bucket_index h v in
+      if i > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "lower_bound <= %g" v)
+          true
+          (H.bucket_lower_bound h i <= v);
+      if i < H.num_buckets h - 1 then
+        Alcotest.(check bool)
+          (Printf.sprintf "%g < next lower_bound" v)
+          true
+          (v < H.bucket_lower_bound h (i + 1)))
+    [ 0.1; 1.; 1.5; 2.; 3.9999; 4.; 60.; 64.; 100. ]
+
+let test_hist_quantile_resolution () =
+  let h = H.create ~lo:1e-3 ~growth:2. ~buckets:64 () in
+  List.iter (H.observe h) [ 1.; 1.; 1.; 1.; 1.; 1.; 1.; 1.; 1.; 100. ];
+  let p50 = H.quantile h 0.5 in
+  (* within one growth factor of the true median *)
+  Alcotest.(check bool) "p50 near 1" true (p50 >= 0.5 && p50 <= 2.);
+  let p99 = H.quantile h 0.99 in
+  Alcotest.(check bool) "p99 near 100" true (p99 >= 50. && p99 <= 100.)
+
+let test_hist_merge_exact () =
+  let a = H.create () and b = H.create () in
+  List.iter (H.observe a) [ 1.; 2.; 3. ];
+  List.iter (H.observe b) [ 10.; 0.5 ];
+  let m = H.merge a b in
+  Alcotest.(check int) "count" 5 (H.count m);
+  feq "min" 0.5 (H.min_value m);
+  feq "max" 10. (H.max_value m);
+  let direct = H.create () in
+  List.iter (H.observe direct) [ 1.; 2.; 3.; 10.; 0.5 ];
+  Alcotest.(check (array int)) "bucket-wise" (H.bucket_counts direct)
+    (H.bucket_counts m)
+
+let test_hist_merge_geometry_mismatch () =
+  let a = H.create ~lo:1. () and b = H.create ~lo:2. () in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Histogram.merge: geometry mismatch") (fun () ->
+      ignore (H.merge a b))
+
+let merge_associative =
+  (* small rationals so min/max/bucket counts are all exact *)
+  let sample = QCheck.(list (map (fun n -> float_of_int n /. 7.) small_nat)) in
+  QCheck.Test.make ~count:200 ~name:"histogram merge is associative"
+    (QCheck.triple sample sample sample)
+    (fun (xs, ys, zs) ->
+      let mk vs =
+        let h = H.create () in
+        List.iter (H.observe h) vs;
+        h
+      in
+      let a = mk xs and b = mk ys and c = mk zs in
+      let l = H.merge (H.merge a b) c and r = H.merge a (H.merge b c) in
+      H.bucket_counts l = H.bucket_counts r
+      && H.count l = H.count r
+      && H.min_value l = H.min_value r
+      && H.max_value l = H.max_value r)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_registry () =
+  let c = Telemetry.Metrics.counter "test.registry.counter" in
+  let before = Telemetry.Metrics.value c in
+  Telemetry.Metrics.incr c;
+  Telemetry.Metrics.add c 2;
+  Alcotest.(check int) "incremented" (before + 3) (Telemetry.Metrics.value c);
+  (* same name resolves to the same cell *)
+  let c' = Telemetry.Metrics.counter "test.registry.counter" in
+  Telemetry.Metrics.incr c';
+  Alcotest.(check int) "shared" (before + 4) (Telemetry.Metrics.value c);
+  (* kind clash is a programming error *)
+  (try
+     ignore (Telemetry.Metrics.histogram "test.registry.counter");
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  let h = Telemetry.Metrics.histogram "test.registry.hist" in
+  Telemetry.Metrics.observe h 1.;
+  Alcotest.(check bool) "registered" true
+    (List.mem_assoc "test.registry.hist" (Telemetry.Metrics.histograms ()))
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [ ("a", J.Int 42);
+        ("b", J.Float 1.5);
+        ("c", J.String "he\"llo\n\t\\world");
+        ("d", J.List [ J.Bool true; J.Bool false; J.Null ]);
+        ("e", J.Obj [ ("nested", J.List [ J.Int (-7); J.Float 1e-9 ]) ]);
+        ("f", J.List []);
+      ]
+  in
+  (match J.parse (J.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "compact" true (J.equal v v')
+  | Error m -> Alcotest.failf "compact parse: %s" m);
+  match J.parse (J.to_string_pretty v) with
+  | Ok v' -> Alcotest.(check bool) "pretty" true (J.equal v v')
+  | Error m -> Alcotest.failf "pretty parse: %s" m
+
+let test_json_parse_standard () =
+  (match J.parse "  [1, 2.5e2, \"\\u0041\", true, null] " with
+  | Ok (J.List [ J.Int 1; J.Float 250.; J.String "A"; J.Bool true; J.Null ])
+    ->
+    ()
+  | Ok other -> Alcotest.failf "unexpected value: %s" (J.to_string other)
+  | Error m -> Alcotest.failf "parse: %s" m);
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Ok _ -> Alcotest.failf "expected parse failure on %S" s
+      | Error _ -> ())
+    [ "{"; "tru"; "1.2.3"; "[1,]"; "\"unterminated"; "{\"a\" 1}"; "" ]
+
+let test_json_nonfinite () =
+  Alcotest.(check string) "nan" "null" (J.to_string (J.Float Float.nan));
+  Alcotest.(check string)
+    "inf" "null"
+    (J.to_string (J.Float Float.infinity))
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_disabled_is_free () =
+  (* not started: no events are collected *)
+  let r = Telemetry.Span.with_span "untracked" (fun () -> 7) in
+  Alcotest.(check int) "result" 7 r;
+  Alcotest.(check bool) "no event" true
+    (not
+       (List.exists
+          (fun e -> e.Telemetry.Span.name = "untracked")
+          (Telemetry.Span.events ())))
+
+let test_span_nesting () =
+  Telemetry.Span.start ();
+  Telemetry.Span.with_span "outer" (fun () ->
+      Telemetry.Span.with_span "inner" (fun () -> ()));
+  Telemetry.Span.stop ();
+  let evs = Telemetry.Span.events () in
+  let find n = List.find (fun e -> e.Telemetry.Span.name = n) evs in
+  Alcotest.(check int) "two events" 2 (List.length evs);
+  Alcotest.(check string) "outer at root" "" (find "outer").Telemetry.Span.parent;
+  Alcotest.(check string)
+    "inner nested" "outer"
+    (find "inner").Telemetry.Span.parent;
+  Alcotest.(check bool) "inner within outer" true
+    ((find "inner").Telemetry.Span.ts >= (find "outer").Telemetry.Span.ts)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace: well-formed, and deterministic across domain counts   *)
+(* ------------------------------------------------------------------ *)
+
+(* A real instrumented workload: one figure sweep from a cold cache.
+   Every memo key is distinct per pool item, so the spans fired inside
+   compute thunks are the same set however the pool schedules them. *)
+let trace_of_run ~domains =
+  Engine.Memo.clear_all ();
+  Engine.Pool.set_default_domains domains;
+  Telemetry.Span.start ();
+  ignore (Bidir.Figures.fig3 ~samples:9 ());
+  Telemetry.Span.stop ();
+  Engine.Pool.set_default_domains 1;
+  Telemetry.Span.events ()
+
+let test_chrome_trace_wellformed () =
+  let evs = trace_of_run ~domains:1 in
+  let s = Telemetry.Sink.chrome_trace_string evs in
+  match J.parse s with
+  | Error m -> Alcotest.failf "trace JSON does not parse: %s" m
+  | Ok j -> (
+    match J.member "traceEvents" j with
+    | Some (J.List events) ->
+      Alcotest.(check bool) "has events" true (events <> []);
+      List.iter
+        (fun e ->
+          List.iter
+            (fun field ->
+              if J.member field e = None then
+                Alcotest.failf "event missing %S: %s" field (J.to_string e))
+            [ "name"; "cat"; "ph"; "ts"; "dur"; "pid"; "tid" ];
+          match J.member "ph" e with
+          | Some (J.String "X") -> ()
+          | _ -> Alcotest.fail "ph must be \"X\"")
+        events
+    | _ -> Alcotest.fail "no traceEvents array")
+
+(* Pool-management spans (cat "pool") describe scheduling, which depends
+   on the chunk count; everything else must match exactly. *)
+let span_multiset evs =
+  List.filter (fun e -> e.Telemetry.Span.cat <> "pool") evs
+  |> List.map (fun e -> e.Telemetry.Span.name)
+  |> List.sort compare
+
+let test_trace_deterministic_across_domains () =
+  let seq = span_multiset (trace_of_run ~domains:1) in
+  let par = span_multiset (trace_of_run ~domains:4) in
+  Alcotest.(check bool) "nonempty" true (seq <> []);
+  Alcotest.(check (list string)) "same spans modulo scheduling" seq par
+
+(* ------------------------------------------------------------------ *)
+(* Netsim metrics on the shared histogram type                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_netsim_block_bits () =
+  let m = Netsim.Metrics.create () in
+  Netsim.Metrics.record_block m ~symbols:100 ~bits_a:500 ~bits_b:300
+    ~delivered_a:true ~delivered_b:true;
+  Netsim.Metrics.record_block m ~symbols:100 ~bits_a:500 ~bits_b:300
+    ~delivered_a:false ~delivered_b:false;
+  let h = Netsim.Metrics.block_bits_histogram m in
+  Alcotest.(check int) "one sample per block" 2 (Telemetry.Histogram.count h);
+  feq "max is full delivery" 800. (Telemetry.Histogram.max_value h);
+  feq "min is total outage" 0. (Telemetry.Histogram.min_value h)
+
+let test_netsim_metrics_merge () =
+  let mk delivered =
+    let m = Netsim.Metrics.create () in
+    Netsim.Metrics.record_block m ~symbols:50 ~bits_a:100 ~bits_b:100
+      ~delivered_a:delivered ~delivered_b:delivered;
+    if not delivered then Netsim.Metrics.record_phase_outage m ~phase:1;
+    m
+  in
+  let merged = Netsim.Metrics.merge (mk true) (mk false) in
+  Alcotest.(check int) "blocks" 2 (Netsim.Metrics.blocks merged);
+  Alcotest.(check int) "symbols" 100 (Netsim.Metrics.symbols merged);
+  Alcotest.(check int) "delivered" 200 (Netsim.Metrics.delivered_bits merged);
+  Alcotest.(check (list (pair int int)))
+    "outages" [ (1, 1) ]
+    (Netsim.Metrics.phase_outages merged);
+  Alcotest.(check int) "histogram carried" 2
+    (Telemetry.Histogram.count (Netsim.Metrics.block_bits_histogram merged))
+
+(* ------------------------------------------------------------------ *)
+
+let suites =
+  [ ( "telemetry.histogram",
+      [ Alcotest.test_case "empty" `Quick test_hist_empty;
+        Alcotest.test_case "single sample is exact" `Quick
+          test_hist_single_sample;
+        Alcotest.test_case "bucket boundaries" `Quick
+          test_hist_bucket_boundaries;
+        Alcotest.test_case "quantile resolution" `Quick
+          test_hist_quantile_resolution;
+        Alcotest.test_case "merge equals direct observation" `Quick
+          test_hist_merge_exact;
+        Alcotest.test_case "merge rejects geometry mismatch" `Quick
+          test_hist_merge_geometry_mismatch;
+        QCheck_alcotest.to_alcotest merge_associative;
+      ] );
+    ( "telemetry.metrics",
+      [ Alcotest.test_case "registry" `Quick test_metrics_registry ] );
+    ( "telemetry.json",
+      [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "standard inputs" `Quick test_json_parse_standard;
+        Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite;
+      ] );
+    ( "telemetry.span",
+      [ Alcotest.test_case "disabled collects nothing" `Quick
+          test_span_disabled_is_free;
+        Alcotest.test_case "nesting" `Quick test_span_nesting;
+      ] );
+    ( "telemetry.trace",
+      [ Alcotest.test_case "chrome trace well-formed" `Quick
+          test_chrome_trace_wellformed;
+        Alcotest.test_case "span set independent of domain count" `Quick
+          test_trace_deterministic_across_domains;
+      ] );
+    ( "telemetry.netsim-metrics",
+      [ Alcotest.test_case "block bits histogram" `Quick
+          test_netsim_block_bits;
+        Alcotest.test_case "merge" `Quick test_netsim_metrics_merge;
+      ] );
+  ]
