@@ -381,6 +381,57 @@ let write_bench_json ~repro_stats ~repro_telemetry ~comparison =
     (fun () -> output_string oc (Telemetry.Json.to_string_pretty json));
   Printf.printf "\nwrote %s\n" bench_json_path
 
+(* ------------------------------------------------------------------ *)
+(* Baseline snapshot + trajectory                                      *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_path = "BENCH_snapshot.json"
+let trajectory_path = "BENCH_trajectory.jsonl"
+
+(* One compact JSON line per bench run, appended (never overwritten):
+   every counter, count+mean per histogram, and the headline engine
+   numbers. Reading the file back gives the repo's performance
+   trajectory across commits; the full-fidelity baseline for `bidir
+   check` style diffing lives in BENCH_snapshot.json. *)
+let append_trajectory ~(snapshot : Telemetry.Snapshot.t) ~comparison =
+  let hist_summary h =
+    Telemetry.Json.Obj
+      [ ("count", Telemetry.Json.Int (Telemetry.Histogram.count h));
+        ("mean", Telemetry.Json.Float (Telemetry.Histogram.mean h));
+      ]
+  in
+  let carry key =
+    match Telemetry.Json.member key comparison with
+    | Some v -> [ (key, v) ]
+    | None -> []
+  in
+  let line =
+    Telemetry.Json.Obj
+      ([ ("schema", Telemetry.Json.String "bidir-trajectory/1");
+         ("ts", Telemetry.Json.Float (Unix.gettimeofday ()));
+         ("label", Telemetry.Json.String snapshot.Telemetry.Snapshot.label);
+         ("counters",
+          Telemetry.Json.Obj
+            (List.map
+               (fun (n, v) -> (n, Telemetry.Json.Int v))
+               snapshot.Telemetry.Snapshot.counters));
+         ("histograms",
+          Telemetry.Json.Obj
+            (List.map
+               (fun (n, h) -> (n, hist_summary h))
+               snapshot.Telemetry.Snapshot.histograms));
+       ]
+      @ carry "speedup_4_domains_vs_1"
+      @ carry "byte_identical")
+  in
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 trajectory_path
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Telemetry.Json.to_string line ^ "\n"));
+  Printf.printf "appended %s\n" trajectory_path
+
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   reproduce ();
@@ -389,9 +440,15 @@ let () =
   print_string (Engine.Stats.to_string repro_stats);
   (* capture the registry before ablation/comparison reset it *)
   let repro_telemetry = Telemetry.Metrics.to_json () in
+  let repro_snapshot =
+    Telemetry.Snapshot.capture ~label:"bench:reproduction" ()
+  in
+  Telemetry.Snapshot.save snapshot_path repro_snapshot;
+  Printf.printf "wrote %s\n" snapshot_path;
   ablation ();
   let comparison = engine_comparison () in
   write_bench_json ~repro_stats ~repro_telemetry ~comparison;
+  append_trajectory ~snapshot:repro_snapshot ~comparison;
   if not quick then begin
     (* time the real kernels, not cache lookups *)
     Engine.Memo.with_enabled false run_benchmarks

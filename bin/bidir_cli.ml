@@ -570,6 +570,121 @@ let profile_cmd =
     Term.(const run $ engine_args ~default_domains:2 () $ workload_arg)
 
 (* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The gate's workload must be deterministic so counters diff exactly:
+   one domain (no pool-chunk nondeterminism), cold caches, a fresh
+   registry, fixed seeds. It touches every instrumented layer — LP
+   solves and pivots, memo caches, figure evaluation, the event-driven
+   simulator — in a few seconds. *)
+let check_workload () =
+  Engine.Pool.set_default_domains 1;
+  Engine.Memo.clear_all ();
+  Telemetry.Metrics.reset ();
+  Engine.Stats.timed "check:figures" (fun () ->
+      ignore (Bidir.Figures.fig3 ~samples:9 () : Bidir.Figures.figure);
+      ignore (Bidir.Figures.fig4 ~power_db:0. () : Bidir.Figures.figure);
+      ignore (Bidir.Figures.gap_table () : Bidir.Figures.table));
+  Engine.Stats.timed "check:netsim" (fun () ->
+      ignore
+        (Netsim.Detailed.run
+           (Netsim.Runner.default_config ~protocol:Bidir.Protocol.Tdbc
+              ~power_db:10. ~gains:Channel.Gains.paper_fig4 ~blocks:20
+              ~block_symbols:1_000 ())
+          : Netsim.Runner.result))
+
+let check_cmd =
+  let against_arg =
+    Arg.(required & opt (some string) None
+         & info [ "against" ] ~docv:"FILE"
+             ~doc:"Baseline snapshot to diff against (written by a \
+                   previous $(b,--update) run, or by $(b,bench)).")
+  in
+  let tolerance_arg =
+    Arg.(value & opt float 50.
+         & info [ "tolerance" ] ~docv:"PCT"
+             ~doc:"Relative band (percent) allowed on the mean of \
+                   wall-time histograms. Deterministic counters always \
+                   compare exactly.")
+  in
+  let update_arg =
+    Arg.(value & flag
+         & info [ "update" ]
+             ~doc:"Overwrite $(b,--against) FILE with this run's \
+                   snapshot instead of diffing (accept the current \
+                   behaviour as the new baseline).")
+  in
+  let report_arg =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+             ~doc:"Also write the regression report as JSON to $(docv).")
+  in
+  let label_arg =
+    Arg.(value & opt string "check"
+         & info [ "label" ] ~docv:"LABEL"
+             ~doc:"Label recorded in the captured snapshot.")
+  in
+  let run against tolerance update report label =
+    if tolerance < 0. then begin
+      Printf.eprintf "--tolerance must be >= 0\n";
+      exit 2
+    end;
+    check_workload ();
+    let current = Telemetry.Snapshot.capture ~label () in
+    if update then begin
+      Telemetry.Snapshot.save against current;
+      Printf.printf "check: wrote baseline %s (%d counters, %d histograms)\n"
+        against
+        (List.length current.Telemetry.Snapshot.counters)
+        (List.length current.Telemetry.Snapshot.histograms)
+    end
+    else
+      match Telemetry.Snapshot.load against with
+      | Error m ->
+        Printf.eprintf
+          "check: cannot load baseline %s: %s\n\
+           (run `bidir check --against %s --update` to create it)\n"
+          against m against;
+        exit 2
+      | Ok base ->
+        let policy =
+          Telemetry.Snapshot.default_policy ~tolerance:(tolerance /. 100.) ()
+        in
+        let d = Telemetry.Snapshot.diff ~policy base current in
+        print_string (Report.Regression.render_text d);
+        (match report with
+        | None -> ()
+        | Some path ->
+          write_file path
+            (Telemetry.Json.to_string_pretty (Report.Regression.to_json d));
+          Printf.eprintf "check: wrote %s\n" path);
+        if not (Telemetry.Snapshot.ok d) then exit 1
+  in
+  let doc =
+    "Replay the deterministic reproduction workload and diff its \
+     telemetry snapshot against a baseline (the regression gate)."
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Runs a fixed instrumented workload (figure sweeps, LP solves, \
+          memo caches, the event-driven simulator; one domain, cold \
+          caches), captures the full metrics registry, and structurally \
+          diffs it against the baseline snapshot in $(b,--against).";
+      `P "Deterministic counters (LP solves, simplex pivots, memo \
+          hits/misses, simulator events) and value histograms must match \
+          exactly — drift there is a correctness signal. Wall-time \
+          histograms (lp.solve_seconds, phase.*) only need an identical \
+          sample count and a mean within $(b,--tolerance) percent.";
+      `P "Exits 0 when the diff has no violations, 1 on regression, 2 on \
+          usage or IO errors.";
+    ]
+  in
+  Cmd.v (Cmd.info "check" ~doc ~man)
+    Term.(const run $ against_arg $ tolerance_arg $ update_arg $ report_arg
+          $ label_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc =
@@ -579,7 +694,7 @@ let main_cmd =
   let info = Cmd.info "bidir" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ figures_cmd; sumrate_cmd; region_cmd; simulate_cmd; sweep_cmd;
-      select_cmd; arq_cmd; profile_cmd ]
+      select_cmd; arq_cmd; profile_cmd; check_cmd ]
 
 let () =
   Fmt_tty.setup_std_outputs ();

@@ -4,12 +4,20 @@
    API (and its output format) is unchanged from the pre-telemetry
    implementation, so callers of --stats see the same block. *)
 
+type histogram_line = {
+  h_name : string;
+  h_count : int;
+  h_p50 : float;
+  h_p99 : float;
+}
+
 type snapshot = {
   lp_solves : int;
   cache_hits : int;
   cache_misses : int;
   pool_tasks : int;
   phases : (string * float) list;
+  summaries : histogram_line list;
 }
 
 let lp_solves = Telemetry.Metrics.counter "engine.lp_solves"
@@ -29,6 +37,10 @@ let timed label f =
     (Telemetry.Metrics.histogram (phase_prefix ^ label))
     f
 
+(* Histograms surfaced in the --stats block without needing --metrics:
+   the two every regression hunt starts from. *)
+let summary_histograms = [ "lp.solve_seconds"; "netsim.queue_depth" ]
+
 let snapshot () =
   let plen = String.length phase_prefix in
   let phases =
@@ -45,11 +57,27 @@ let snapshot () =
         else None)
       (Telemetry.Metrics.histograms ())
   in
+  let summaries =
+    List.filter_map
+      (fun (name, h) ->
+        if List.mem name summary_histograms && Telemetry.Histogram.count h > 0
+        then
+          let p50, _, p99 = Telemetry.Histogram.percentiles h in
+          Some
+            { h_name = name;
+              h_count = Telemetry.Histogram.count h;
+              h_p50 = p50;
+              h_p99 = p99;
+            }
+        else None)
+      (Telemetry.Metrics.histograms ())
+  in
   { lp_solves = Telemetry.Metrics.value lp_solves;
     cache_hits = Telemetry.Metrics.value cache_hits;
     cache_misses = Telemetry.Metrics.value cache_misses;
     pool_tasks = Telemetry.Metrics.value pool_tasks;
     phases;
+    summaries;
   }
 
 let reset () = Telemetry.Metrics.reset ()
@@ -70,4 +98,9 @@ let to_string s =
     (fun (label, t) ->
       Printf.bprintf b "  phase %-28s %8.1f ms\n" label (1000. *. t))
     s.phases;
+  List.iter
+    (fun l ->
+      Printf.bprintf b "  %-34s count=%d p50=%.3g p99=%.3g\n" l.h_name
+        l.h_count l.h_p50 l.h_p99)
+    s.summaries;
   Buffer.contents b

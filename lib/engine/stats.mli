@@ -10,6 +10,16 @@
     registry. The snapshot/[to_string] surface and output format are
     unchanged. *)
 
+type histogram_line = {
+  h_name : string;
+  h_count : int;
+  h_p50 : float;
+  h_p99 : float;
+}
+(** Percentile summary of one well-known histogram, shown in the
+    [--stats] block so the common distributions are visible without
+    [--metrics]. *)
+
 type snapshot = {
   lp_solves : int;       (** simplex invocations actually performed *)
   cache_hits : int;      (** memo lookups answered without solving *)
@@ -17,6 +27,9 @@ type snapshot = {
   pool_tasks : int;      (** items dispatched through parallel pool maps *)
   phases : (string * float) list;
       (** accumulated wall-clock seconds per phase label, sorted by label *)
+  summaries : histogram_line list;
+      (** p50/p99 of [lp.solve_seconds] and [netsim.queue_depth], when
+          they have samples *)
 }
 
 val record_lp_solve : unit -> unit

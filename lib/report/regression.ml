@@ -1,0 +1,126 @@
+module S = Telemetry.Snapshot
+module J = Telemetry.Json
+
+let status_name = function
+  | S.Match -> "ok"
+  | S.Within_band -> "within-band"
+  | S.Drift -> "DRIFT"
+  | S.Missing -> "MISSING"
+  | S.New -> "new"
+
+let rule_name = function
+  | S.Exact -> "exact"
+  | S.Time_band tol -> Printf.sprintf "band ±%.0f%%" (100. *. tol)
+  | S.Ignore -> "ignore"
+
+let value_string = function
+  | None -> "-"
+  | Some (S.Counter v) -> string_of_int v
+  | Some (S.Hist { count; mean; _ }) ->
+    if count = 0 then "empty" else Printf.sprintf "n=%d mean=%.3g" count mean
+
+let delta_string (c : S.comparison) =
+  match (c.S.baseline, c.S.current) with
+  | Some (S.Counter a), Some (S.Counter b) ->
+    if a = b then "" else Printf.sprintf "%+d" (b - a)
+  | Some (S.Hist { count = na; mean = ma; _ }),
+    Some (S.Hist { count = nb; mean = mb; _ }) ->
+    if na <> nb then Printf.sprintf "%+d samples" (nb - na)
+    else if ma = mb then ""
+    else if Float.abs ma > 1e-12 then
+      Printf.sprintf "%+.1f%% mean" (100. *. ((mb -. ma) /. Float.abs ma))
+    else Printf.sprintf "%+.3g mean" (mb -. ma)
+  | _ -> ""
+
+(* Violations first (they're what the reader came for), then band-level
+   drift, then everything else; alphabetical within each class. *)
+let report_order a b =
+  let weight c =
+    match c.S.status with
+    | S.Drift | S.Missing -> 0
+    | S.Within_band -> 1
+    | S.New -> 2
+    | S.Match -> 3
+  in
+  match compare (weight a) (weight b) with
+  | 0 -> compare a.S.metric b.S.metric
+  | n -> n
+
+let render_text (d : S.diff) =
+  let comparisons = List.sort report_order d.S.comparisons in
+  let rows =
+    List.map
+      (fun (c : S.comparison) ->
+        [ c.S.metric;
+          rule_name c.S.rule;
+          value_string c.S.baseline;
+          value_string c.S.current;
+          delta_string c;
+          status_name c.S.status;
+        ])
+      comparisons
+  in
+  let table =
+    Chart.Table.render
+      ~headers:[ "metric"; "rule"; "baseline"; "current"; "delta"; "verdict" ]
+      ~rows
+  in
+  let viols = S.violations d in
+  let summary =
+    if viols = [] then
+      Printf.sprintf "OK: %d metrics compared, no violations%s\n"
+        (List.length comparisons)
+        (let banded =
+           List.length
+             (List.filter (fun c -> c.S.status = S.Within_band) comparisons)
+         in
+         if banded = 0 then "" else Printf.sprintf " (%d within band)" banded)
+    else
+      Printf.sprintf "REGRESSION: %d violation%s in %d metrics:\n%s"
+        (List.length viols)
+        (if List.length viols = 1 then "" else "s")
+        (List.length comparisons)
+        (String.concat ""
+           (List.map
+              (fun (c : S.comparison) ->
+                Printf.sprintf "  %s %s: %s\n" (status_name c.S.status)
+                  c.S.metric c.S.detail)
+              viols))
+  in
+  table ^ "\n" ^ summary
+
+let comparison_json (c : S.comparison) =
+  let value = function
+    | None -> J.Null
+    | Some (S.Counter v) -> J.Obj [ ("kind", J.String "counter"); ("value", J.Int v) ]
+    | Some (S.Hist { count; sum; mean; min_v; max_v }) ->
+      J.Obj
+        [ ("kind", J.String "histogram");
+          ("count", J.Int count);
+          ("sum", J.Float sum);
+          ("mean", J.Float mean);
+          ("min", J.Float min_v);
+          ("max", J.Float max_v);
+        ]
+  in
+  J.Obj
+    [ ("metric", J.String c.S.metric);
+      ("rule", J.String (rule_name c.S.rule));
+      ("baseline", value c.S.baseline);
+      ("current", value c.S.current);
+      ("delta", J.String (delta_string c));
+      ("status", J.String (status_name c.S.status));
+      ("violation", J.Bool (S.violation c));
+      ("detail", J.String c.S.detail);
+    ]
+
+let to_json (d : S.diff) =
+  J.Obj
+    [ ("schema", J.String "bidir-regression-report/1");
+      ("baseline_label", J.String d.S.base_label);
+      ("current_label", J.String d.S.cur_label);
+      ("ok", J.Bool (S.ok d));
+      ("violations", J.Int (List.length (S.violations d)));
+      ("comparisons",
+       J.List (List.map comparison_json (List.sort report_order d.S.comparisons)));
+    ]

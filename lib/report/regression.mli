@@ -1,0 +1,14 @@
+(** Rendering of {!Telemetry.Snapshot} diffs as regression reports.
+
+    Both renderings list one row per compared metric — violations first,
+    then within-band drift, then new/unchanged metrics — with the rule
+    applied, baseline and current values, delta and verdict. *)
+
+val render_text : Telemetry.Snapshot.diff -> string
+(** Aligned table plus a one-paragraph summary: either
+    ["OK: N metrics compared, ..."] or ["REGRESSION: ..."] naming each
+    violated metric with its explanation. *)
+
+val to_json : Telemetry.Snapshot.diff -> Telemetry.Json.t
+(** Machine-readable form ([bidir-regression-report/1]): overall [ok]
+    flag, violation count, and the full per-metric comparison list. *)

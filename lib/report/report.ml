@@ -1,3 +1,5 @@
+module Regression = Regression
+
 let to_chart_series (s : Bidir.Figures.series) =
   { Chart.Line_chart.label = s.Bidir.Figures.label;
     points = s.Bidir.Figures.points;

@@ -1,5 +1,8 @@
 (** Rendering of {!Bidir.Figures} data for terminals and files. *)
 
+module Regression : module type of Regression
+(** Text/JSON rendering of {!Telemetry.Snapshot} regression diffs. *)
+
 val render_figure : ?width:int -> ?height:int -> Bidir.Figures.figure -> string
 (** Terminal line chart. Figures whose id starts with ["fig4"] (rate
     regions) are drawn with zero-anchored axes. *)

@@ -57,12 +57,20 @@ let rec atomic_update cell better x =
   if better x cur && not (Atomic.compare_and_set cell cur x) then
     atomic_update cell better x
 
+(* Non-finite and negative samples are clamped to 0 before recording:
+   they still count (into the underflow bucket) but can no longer poison
+   [sum]/[mean] with NaN/inf or drag [min] below the histogram's domain.
+   Genuine small values in [0, lo) keep their true value in min/max/sum
+   and only lose bucket resolution. *)
 let observe t v =
+  let v = if not (Float.is_finite v) || v < 0. then 0. else v in
   Atomic.incr t.counts.(bucket_index t v);
   Atomic.incr t.total;
   atomic_add_float t.sum_cell v;
   atomic_update t.min_cell ( < ) v;
   atomic_update t.max_cell ( > ) v
+
+let underflow_count t = Atomic.get t.counts.(0)
 
 let count t = Atomic.get t.total
 let sum t = Atomic.get t.sum_cell
@@ -145,3 +153,94 @@ let to_json t =
             (fun (lb, c) -> Json.List [ Json.Float lb; Json.Int c ])
             (nonzero_buckets t)));
     ]
+
+let copy t =
+  let c = create ~lo:t.lo ~growth:t.growth ~buckets:t.nbuckets () in
+  for i = 0 to t.nbuckets - 1 do
+    Atomic.set c.counts.(i) (Atomic.get t.counts.(i))
+  done;
+  Atomic.set c.total (Atomic.get t.total);
+  Atomic.set c.sum_cell (Atomic.get t.sum_cell);
+  Atomic.set c.min_cell (Atomic.get t.min_cell);
+  Atomic.set c.max_cell (Atomic.get t.max_cell);
+  c
+
+(* Full-state serialisation (geometry + every non-empty bucket by
+   index), as opposed to [to_json]'s human-oriented summary: this is
+   what snapshots persist, and [of_json_state] restores a histogram that
+   is indistinguishable from the captured one. Since [observe] clamps,
+   all recorded state is finite, so the JSON always round-trips. *)
+let to_json_state t =
+  let cells = ref [] in
+  for i = t.nbuckets - 1 downto 0 do
+    let c = Atomic.get t.counts.(i) in
+    if c > 0 then cells := Json.List [ Json.Int i; Json.Int c ] :: !cells
+  done;
+  let base =
+    [ ("lo", Json.Float t.lo);
+      ("growth", Json.Float t.growth);
+      ("buckets", Json.Int t.nbuckets);
+      ("count", Json.Int (count t));
+      ("sum", Json.Float (sum t));
+      ("counts", Json.List !cells);
+    ]
+  in
+  let extremes =
+    if count t = 0 then []
+    else
+      [ ("min", Json.Float (Atomic.get t.min_cell));
+        ("max", Json.Float (Atomic.get t.max_cell));
+      ]
+  in
+  Json.Obj (base @ extremes)
+
+let of_json_state j =
+  let ( let* ) r f = Result.bind r f in
+  let field name =
+    match Json.member name j with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "histogram state: missing %S" name)
+  in
+  let as_float name = function
+    | Json.Float f -> Ok f
+    | Json.Int i -> Ok (float_of_int i)
+    | _ -> Error (Printf.sprintf "histogram state: %S is not a number" name)
+  in
+  let as_int name = function
+    | Json.Int i -> Ok i
+    | _ -> Error (Printf.sprintf "histogram state: %S is not an integer" name)
+  in
+  let* lo = Result.bind (field "lo") (as_float "lo") in
+  let* growth = Result.bind (field "growth") (as_float "growth") in
+  let* nbuckets = Result.bind (field "buckets") (as_int "buckets") in
+  let* total = Result.bind (field "count") (as_int "count") in
+  let* s = Result.bind (field "sum") (as_float "sum") in
+  let* t =
+    match create ~lo ~growth ~buckets:nbuckets () with
+    | t -> Ok t
+    | exception Invalid_argument m -> Error m
+  in
+  let* () =
+    match Json.member "counts" j with
+    | Some (Json.List cells) ->
+      List.fold_left
+        (fun acc cell ->
+          let* () = acc in
+          match cell with
+          | Json.List [ Json.Int i; Json.Int c ] when i >= 0 && i < nbuckets ->
+            Atomic.set t.counts.(i) c;
+            Ok ()
+          | _ -> Error "histogram state: malformed bucket cell")
+        (Ok ()) cells
+    | _ -> Error "histogram state: missing \"counts\" list"
+  in
+  Atomic.set t.total total;
+  Atomic.set t.sum_cell s;
+  if total > 0 then begin
+    let* mn = Result.bind (field "min") (as_float "min") in
+    let* mx = Result.bind (field "max") (as_float "max") in
+    Atomic.set t.min_cell mn;
+    Atomic.set t.max_cell mx;
+    Ok t
+  end
+  else Ok t

@@ -23,7 +23,21 @@ val create : ?lo:float -> ?growth:float -> ?buckets:int -> unit -> t
     [lo <= 0], [growth <= 1] or [buckets < 2]. *)
 
 val observe : t -> float -> unit
-(** Record one sample. Lock-free; safe from any domain. *)
+(** Record one sample. Lock-free; safe from any domain.
+
+    Samples outside the histogram's domain are clamped rather than
+    recorded raw: a NaN, infinite or negative sample is recorded as
+    [0.] (it lands in the underflow bucket and contributes 0 to
+    [sum]/[min]/[max]), so invalid inputs are counted but can never
+    poison the mean with NaN or drag [min] negative. Genuine small
+    samples in [[0, lo)] also land in the underflow bucket but keep
+    their true value in [sum]/[min]/[max]; {!quantile} estimates for
+    that bucket clamp to the observed minimum. All recorded state is
+    therefore finite. *)
+
+val underflow_count : t -> int
+(** Samples that landed in the underflow bucket — sub-[lo] values plus
+    clamped invalid (NaN/infinite/negative) observations. *)
 
 val count : t -> int
 val sum : t -> float
@@ -69,3 +83,18 @@ val nonzero_buckets : t -> (float * int) list
 val to_json : t -> Json.t
 (** Object with count/sum/mean/min/max/p50/p90/p99 and the non-empty
     buckets as [[lower_bound, count]] pairs. *)
+
+val copy : t -> t
+(** Fresh histogram with the same geometry and an identical point-in-time
+    copy of all cells (used by snapshots so later observations on the
+    live instance don't mutate the capture). *)
+
+val to_json_state : t -> Json.t
+(** Full-state serialisation: geometry ([lo]/[growth]/[buckets]),
+    [count]/[sum] ([min]/[max] when non-empty) and every non-empty
+    bucket as [[index, count]]. Unlike {!to_json} this loses nothing:
+    {!of_json_state} restores an indistinguishable histogram. *)
+
+val of_json_state : Json.t -> (t, string) result
+(** Inverse of {!to_json_state}. Fails with a message on missing or
+    ill-typed fields and on invalid geometry. *)

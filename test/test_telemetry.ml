@@ -71,6 +71,51 @@ let test_hist_quantile_resolution () =
   let p99 = H.quantile h 0.99 in
   Alcotest.(check bool) "p99 near 100" true (p99 >= 50. && p99 <= 100.)
 
+(* Invalid and sub-lo samples: counted in the underflow bucket, clamped
+   so they never distort sum/min/quantiles (the documented rule). *)
+let test_hist_underflow_clamp () =
+  let h = H.create ~lo:1. ~growth:2. ~buckets:8 () in
+  H.observe h Float.nan;
+  H.observe h (-3.);
+  H.observe h Float.infinity;
+  H.observe h Float.neg_infinity;
+  Alcotest.(check int) "all counted" 4 (H.count h);
+  Alcotest.(check int) "all in underflow" 4 (H.underflow_count h);
+  feq "sum stays finite" 0. (H.sum h);
+  feq "mean stays finite" 0. (H.mean h);
+  feq "min clamped to 0" 0. (H.min_value h);
+  feq "max clamped to 0" 0. (H.max_value h);
+  let p50, _, p99 = H.percentiles h in
+  feq "p50 not distorted" 0. p50;
+  feq "p99 not distorted" 0. p99;
+  (* a genuine sub-lo sample keeps its true value in min/sum *)
+  let g = H.create ~lo:1. ~growth:2. ~buckets:8 () in
+  H.observe g 0.25;
+  H.observe g 2.;
+  Alcotest.(check int) "one underflow" 1 (H.underflow_count g);
+  feq "true min kept" 0.25 (H.min_value g);
+  feq "true sum kept" 2.25 (H.sum g);
+  (* quantile estimates for the underflow bucket clamp to observed min *)
+  Alcotest.(check bool) "quantile within [min, max]" true
+    (let q = H.quantile g 0.25 in
+     q >= 0.25 && q <= 2.)
+
+let test_hist_state_roundtrip () =
+  let h = H.create ~lo:1e-3 ~growth:2. ~buckets:16 () in
+  List.iter (H.observe h) [ 0.5; 0.002; 7.; 7.; 1e9; -1. ];
+  let j = H.to_json_state h in
+  (* through the emitter and parser, as snapshots do *)
+  match Result.bind (J.parse (J.to_string j)) H.of_json_state with
+  | Error m -> Alcotest.failf "state roundtrip: %s" m
+  | Ok h' ->
+    Alcotest.(check bool) "same geometry" true (H.same_geometry h h');
+    Alcotest.(check (array int)) "buckets" (H.bucket_counts h)
+      (H.bucket_counts h');
+    Alcotest.(check int) "count" (H.count h) (H.count h');
+    feq "sum" (H.sum h) (H.sum h');
+    feq "min" (H.min_value h) (H.min_value h');
+    feq "max" (H.max_value h) (H.max_value h')
+
 let test_hist_merge_exact () =
   let a = H.create () and b = H.create () in
   List.iter (H.observe a) [ 1.; 2.; 3. ];
@@ -203,6 +248,32 @@ let test_span_nesting () =
   Alcotest.(check bool) "inner within outer" true
     ((find "inner").Telemetry.Span.ts >= (find "outer").Telemetry.Span.ts)
 
+exception Boom
+
+(* The Fun.protect path: a raising [f] must still record its span and
+   restore the parent stack, so later spans nest correctly. *)
+let test_span_exception_records_and_restores () =
+  Telemetry.Span.start ();
+  Telemetry.Span.with_span "outer" (fun () ->
+      (try
+         Telemetry.Span.with_span "failing" (fun () -> raise Boom)
+       with Boom -> ());
+      Alcotest.(check (list string))
+        "stack restored after raise" [ "outer" ]
+        (Telemetry.Span.context ());
+      Telemetry.Span.with_span "after" (fun () -> ()));
+  Telemetry.Span.stop ();
+  Alcotest.(check (list string)) "stack empty at root" []
+    (Telemetry.Span.context ());
+  let evs = Telemetry.Span.events () in
+  let find n = List.find (fun e -> e.Telemetry.Span.name = n) evs in
+  Alcotest.(check string)
+    "raising span recorded with its parent" "outer"
+    (find "failing").Telemetry.Span.parent;
+  Alcotest.(check string)
+    "later sibling sees the right parent" "outer"
+    (find "after").Telemetry.Span.parent
+
 (* ------------------------------------------------------------------ *)
 (* Chrome trace: well-formed, and deterministic across domain counts   *)
 (* ------------------------------------------------------------------ *)
@@ -298,6 +369,9 @@ let suites =
           test_hist_bucket_boundaries;
         Alcotest.test_case "quantile resolution" `Quick
           test_hist_quantile_resolution;
+        Alcotest.test_case "underflow clamp" `Quick test_hist_underflow_clamp;
+        Alcotest.test_case "full-state JSON roundtrip" `Quick
+          test_hist_state_roundtrip;
         Alcotest.test_case "merge equals direct observation" `Quick
           test_hist_merge_exact;
         Alcotest.test_case "merge rejects geometry mismatch" `Quick
@@ -315,6 +389,8 @@ let suites =
       [ Alcotest.test_case "disabled collects nothing" `Quick
           test_span_disabled_is_free;
         Alcotest.test_case "nesting" `Quick test_span_nesting;
+        Alcotest.test_case "exception records span, restores stack" `Quick
+          test_span_exception_records_and_restores;
       ] );
     ( "telemetry.trace",
       [ Alcotest.test_case "chrome trace well-formed" `Quick
