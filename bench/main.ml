@@ -218,6 +218,99 @@ let engine_comparison () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* LP engine: cold Simplex vs warm-start Solver                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The same boundary sweep solved twice on the production LP (the TDBC
+   inner bound from the ablation): once with a fresh [Simplex.maximize]
+   per weight (how sweeps ran before the warm-start engine), once with
+   one [Linprog.Solver] reoptimized across the sweep. Pivot counts and
+   per-solve latency come from the telemetry registry, so the numbers
+   are the same ones `bidir check` gates. *)
+let lp_comparison () =
+  hr "LP ENGINE: cold Simplex vs warm-start Solver (129-weight sweep)";
+  let nvars, constrs = Bidir.Rate_region.lp_constraints tdbc_bound in
+  let weights = 129 in
+  let objectives =
+    List.init weights (fun i ->
+        let w = float_of_int i /. float_of_int (weights - 1) in
+        let c = Array.make nvars 0. in
+        c.(0) <- w;
+        c.(1) <- 1. -. w;
+        c)
+  in
+  let pivots = Telemetry.Metrics.counter "linprog.pivots" in
+  let solves = Telemetry.Metrics.counter "linprog.solves" in
+  let measure solve_all =
+    Telemetry.Metrics.reset ();
+    let lp_seconds = Telemetry.Metrics.histogram "lp.solve_seconds" in
+    let t0 = Unix.gettimeofday () in
+    let outcomes =
+      solve_all (fun f -> Telemetry.Metrics.time lp_seconds f)
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let p50, _, p99 = Telemetry.Histogram.percentiles lp_seconds in
+    ( outcomes,
+      ( Telemetry.Metrics.value pivots,
+        Telemetry.Metrics.value solves,
+        dt, p50, p99 ) )
+  in
+  let cold_outcomes, (cold_pivots, cold_solves, cold_dt, cold_p50, cold_p99) =
+    measure (fun timed ->
+        List.map
+          (fun c -> timed (fun () -> Linprog.Simplex.maximize ~c ~constrs))
+          objectives)
+  in
+  let warm_outcomes, (warm_pivots, warm_solves, warm_dt, warm_p50, warm_p99) =
+    measure (fun timed ->
+        let solver = Linprog.Solver.create ~nvars ~constrs in
+        List.map
+          (fun c -> timed (fun () -> Linprog.Solver.reoptimize solver ~c))
+          objectives)
+  in
+  let objectives_equal =
+    List.for_all2
+      (fun a b ->
+        match (a, b) with
+        | Linprog.Simplex.Optimal s1, Linprog.Simplex.Optimal s2 ->
+          abs_float (s1.Linprog.Simplex.objective -. s2.Linprog.Simplex.objective)
+          <= 1e-9
+        | _ -> false)
+      cold_outcomes warm_outcomes
+  in
+  let describe label (piv, slv, dt, p50, p99) =
+    Printf.printf
+      "%-28s %6d pivots / %3d solves  %7.2f ms  (p50=%.3gs p99=%.3gs per \
+       solve)\n"
+      label piv slv (1000. *. dt) p50 p99
+  in
+  describe "cold (Simplex.maximize):"
+    (cold_pivots, cold_solves, cold_dt, cold_p50, cold_p99);
+  describe "warm (Solver.reoptimize):"
+    (warm_pivots, warm_solves, warm_dt, warm_p50, warm_p99);
+  let pivot_reduction =
+    float_of_int cold_pivots /. float_of_int (max warm_pivots 1)
+  in
+  Printf.printf "pivot reduction: %.1fx; objectives agree to 1e-9: %b\n"
+    pivot_reduction objectives_equal;
+  let variant (piv, slv, dt, p50, p99) =
+    Telemetry.Json.Obj
+      [ ("pivots", Telemetry.Json.Int piv);
+        ("solves", Telemetry.Json.Int slv);
+        ("seconds", Telemetry.Json.Float dt);
+        ("solve_seconds_p50", Telemetry.Json.Float p50);
+        ("solve_seconds_p99", Telemetry.Json.Float p99);
+      ]
+  in
+  Telemetry.Json.Obj
+    [ ("weights", Telemetry.Json.Int weights);
+      ("cold", variant (cold_pivots, cold_solves, cold_dt, cold_p50, cold_p99));
+      ("warm", variant (warm_pivots, warm_solves, warm_dt, warm_p50, warm_p99));
+      ("pivot_reduction", Telemetry.Json.Float pivot_reduction);
+      ("objectives_equal", Telemetry.Json.Bool objectives_equal);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -353,7 +446,7 @@ let bench_json_path = "BENCH_engine.json"
    phase wall times and full telemetry registry (histograms with
    p50/p90/p99), plus the engine-comparison timings. Tracking these
    files across commits gives the performance trajectory of the repo. *)
-let write_bench_json ~repro_stats ~repro_telemetry ~comparison =
+let write_bench_json ~repro_stats ~repro_telemetry ~comparison ~lp =
   let s : Engine.Stats.snapshot = repro_stats in
   let json =
     Telemetry.Json.Obj
@@ -373,6 +466,7 @@ let write_bench_json ~repro_stats ~repro_telemetry ~comparison =
              ("telemetry", repro_telemetry);
            ]);
         ("engine_comparison", comparison);
+        ("lp_comparison", lp);
       ]
   in
   let oc = open_out bench_json_path in
@@ -393,7 +487,7 @@ let trajectory_path = "BENCH_trajectory.jsonl"
    numbers. Reading the file back gives the repo's performance
    trajectory across commits; the full-fidelity baseline for `bidir
    check` style diffing lives in BENCH_snapshot.json. *)
-let append_trajectory ~(snapshot : Telemetry.Snapshot.t) ~comparison =
+let append_trajectory ~(snapshot : Telemetry.Snapshot.t) ~comparison ~lp =
   let hist_summary h =
     Telemetry.Json.Obj
       [ ("count", Telemetry.Json.Int (Telemetry.Histogram.count h));
@@ -422,7 +516,15 @@ let append_trajectory ~(snapshot : Telemetry.Snapshot.t) ~comparison =
                snapshot.Telemetry.Snapshot.histograms));
        ]
       @ carry "speedup_4_domains_vs_1"
-      @ carry "byte_identical")
+      @ carry "byte_identical"
+      @
+      (* headline warm-start LP numbers, prefixed for the flat line *)
+      List.concat_map
+        (fun key ->
+          match Telemetry.Json.member key lp with
+          | Some v -> [ ("lp_" ^ key, v) ]
+          | None -> [])
+        [ "pivot_reduction"; "objectives_equal" ])
   in
   let oc =
     open_out_gen [ Open_append; Open_creat ] 0o644 trajectory_path
@@ -447,8 +549,9 @@ let () =
   Printf.printf "wrote %s\n" snapshot_path;
   ablation ();
   let comparison = engine_comparison () in
-  write_bench_json ~repro_stats ~repro_telemetry ~comparison;
-  append_trajectory ~snapshot:repro_snapshot ~comparison;
+  let lp = lp_comparison () in
+  write_bench_json ~repro_stats ~repro_telemetry ~comparison ~lp;
+  append_trajectory ~snapshot:repro_snapshot ~comparison ~lp;
   if not quick then begin
     (* time the real kernels, not cache lookups *)
     Engine.Memo.with_enabled false run_benchmarks

@@ -671,11 +671,15 @@ let check_cmd =
           memo caches, the event-driven simulator; one domain, cold \
           caches), captures the full metrics registry, and structurally \
           diffs it against the baseline snapshot in $(b,--against).";
-      `P "Deterministic counters (LP solves, simplex pivots, memo \
-          hits/misses, simulator events) and value histograms must match \
-          exactly — drift there is a correctness signal. Wall-time \
-          histograms (lp.solve_seconds, phase.*) only need an identical \
-          sample count and a mean within $(b,--tolerance) percent.";
+      `P "Deterministic counters (LP solves, memo hits/misses, simulator \
+          events) and value histograms must match exactly — drift there \
+          is a correctness signal. Work budgets (linprog.pivots, \
+          linprog.refactor_eliminations) gate one-sided: staying at or \
+          under the baseline passes, so a pivot-count improvement needs \
+          no baseline refresh, while a pivot regression fails the gate. \
+          Wall-time histograms (lp.solve_seconds, phase.*) only need an \
+          identical sample count and a mean within $(b,--tolerance) \
+          percent.";
       `P "Exits 0 when the diff has no violations, 1 on regression, 2 on \
           usage or IO errors.";
     ]

@@ -57,27 +57,93 @@ let boundary_cache : (string * int, Numerics.Vec2.t list) Engine.Memo.t =
 let polygon_cache : (string * int, Numerics.Vec2.t list) Engine.Memo.t =
   Engine.Memo.create ~name:"rate_region.polygon" ()
 
+(* --- per-domain warm-start solver slots ---------------------------- *)
+
+(* One [Linprog.Solver.t] per (LP shape, domain): the shape — weighted
+   sweep vs feasibility probe, phase count, term count — determines the
+   tableau layout, so one instance serves every bound system of that
+   shape. A sweep over one bound system reoptimises the loaded tableau
+   (phase 1 never re-runs); moving to the next block's bound system
+   rebuilds in place and carries the optimal basis across. Instances
+   live in [Domain.DLS], so pool workers warm-start independently and
+   no instance is ever shared between domains (the Solver ownership
+   contract). An epoch bumped by [clear_cache] / [Memo.clear_all]
+   invalidates every domain's slots, so "cold cache" runs rebuild their
+   solvers from scratch. *)
+
+let solver_epoch = Atomic.make 0
+
+let bump_solver_epoch () = Atomic.incr solver_epoch
+
+let () = Engine.Memo.on_clear_all bump_solver_epoch
+
+type solver_slot = {
+  solver : Linprog.Solver.t;
+  mutable loaded : string; (* bound key of the system currently loaded *)
+}
+
+type slot_table = {
+  mutable epoch : int;
+  slots : (string, solver_slot) Hashtbl.t;
+}
+
+let slots_key =
+  Domain.DLS.new_key (fun () ->
+      { epoch = Atomic.get solver_epoch; slots = Hashtbl.create 8 })
+
+let domain_slots () =
+  let t = Domain.DLS.get slots_key in
+  let e = Atomic.get solver_epoch in
+  if t.epoch <> e then begin
+    Hashtbl.reset t.slots;
+    t.epoch <- e
+  end;
+  t.slots
+
+(* Fetch this domain's solver for [shape], loading [constrs b] when the
+   slot holds a different bound system (or none yet). *)
+let solver_for ~shape ~key ~nvars b constrs =
+  let slots = domain_slots () in
+  match Hashtbl.find_opt slots shape with
+  | Some s ->
+    if s.loaded <> key then begin
+      Linprog.Solver.rebuild s.solver ~constrs:(constrs b);
+      s.loaded <- key
+    end;
+    s.solver
+  | None ->
+    let solver = Linprog.Solver.create ~nvars ~constrs:(constrs b) in
+    Hashtbl.replace slots shape { solver; loaded = key };
+    solver
+
 let clear_cache () =
   Engine.Memo.clear weighted_cache;
   Engine.Memo.clear feasibility_cache;
   Engine.Memo.clear boundary_cache;
-  Engine.Memo.clear polygon_cache
+  Engine.Memo.clear polygon_cache;
+  bump_solver_epoch ()
 
 (* Latency of every LP actually solved (weighted optima and
    feasibility probes alike); memo hits never reach this. *)
 let lp_seconds = Telemetry.Metrics.histogram "lp.solve_seconds"
 
-let solve_weighted b ~wa ~wb =
+let solve_weighted ~key b ~wa ~wb =
   Engine.Stats.record_lp_solve ();
   Telemetry.Span.with_span ~cat:"lp" "lp.solve"
   @@ fun () ->
   Telemetry.Metrics.time lp_seconds
   @@ fun () ->
-  let nvars, constrs = lp_constraints b in
+  let nvars = 2 + b.Bound.num_phases in
+  let shape =
+    Printf.sprintf "w|%d|%d" b.Bound.num_phases (List.length b.Bound.terms)
+  in
+  let solver =
+    solver_for ~shape ~key ~nvars b (fun b -> snd (lp_constraints b))
+  in
   let c = Array.make nvars 0. in
   c.(0) <- wa;
   c.(1) <- wb;
-  match Linprog.Simplex.maximize ~c ~constrs with
+  match Linprog.Solver.reoptimize solver ~c with
   | Linprog.Simplex.Optimal s ->
     let x = s.Linprog.Simplex.x in
     { ra = x.(0); rb = x.(1); deltas = Array.sub x 2 (nvars - 2) }
@@ -94,7 +160,7 @@ let max_weighted_keyed ~key b ~wa ~wb =
     invalid_arg "Rate_region.max_weighted: bad weights";
   let r =
     Engine.Memo.find_or_add weighted_cache (key, wa, wb) (fun () ->
-        solve_weighted b ~wa ~wb)
+        solve_weighted ~key b ~wa ~wb)
   in
   (* fresh deltas so callers can never mutate the cached schedule *)
   { r with deltas = Array.copy r.deltas }
@@ -112,7 +178,7 @@ let max_rb_keyed ~key b = max_weighted_keyed ~key b ~wa:lex_eps ~wb:1.
 let max_ra b = max_ra_keyed ~key:(bound_key b) b
 let max_rb b = max_rb_keyed ~key:(bound_key b) b
 
-let probe_achievable b ~ra ~rb =
+let probe_achievable ~key b ~ra ~rb =
   Engine.Stats.record_lp_solve ();
   Telemetry.Span.with_span ~cat:"lp" "lp.probe"
   @@ fun () ->
@@ -120,24 +186,34 @@ let probe_achievable b ~ra ~rb =
   @@ fun () ->
   (* project out the rates: constraints over the durations only *)
   let l = b.Bound.num_phases in
-  let of_term (t : Bound.term) =
-    (* sum_l c_l d_l >= ca ra + cb rb *)
-    Linprog.Simplex.constr
-      (Array.copy t.Bound.per_phase)
-      Linprog.Simplex.Ge
-      ((t.Bound.ca *. ra) +. (t.Bound.cb *. rb) -. 1e-9)
+  let constrs b =
+    let of_term (t : Bound.term) =
+      (* sum_l c_l d_l >= ca ra + cb rb *)
+      Linprog.Simplex.constr
+        (Array.copy t.Bound.per_phase)
+        Linprog.Simplex.Ge
+        ((t.Bound.ca *. ra) +. (t.Bound.cb *. rb) -. 1e-9)
+    in
+    let simplex_row =
+      Linprog.Simplex.constr (Array.make l 1.) Linprog.Simplex.Eq 1.
+    in
+    simplex_row :: List.map of_term b.Bound.terms
   in
-  let simplex_row =
-    Linprog.Simplex.constr (Array.make l 1.) Linprog.Simplex.Eq 1.
-  in
-  Linprog.Simplex.feasible ~nvars:l
-    ~constrs:(simplex_row :: List.map of_term b.Bound.terms)
+  (* probes shift the right-hand side per (ra, rb), so every probe
+     rebuilds its slot (the loaded key pins the probed point too). When
+     the carried basis survives the new rhs the rebuild skips phase 1
+     and [feasible] answers immediately; otherwise this is the
+     documented case where phase 1 re-runs. *)
+  let shape = Printf.sprintf "p|%d|%d" l (List.length b.Bound.terms) in
+  let probe_key = Printf.sprintf "%s|%h|%h" key ra rb in
+  let solver = solver_for ~shape ~key:probe_key ~nvars:l b constrs in
+  Linprog.Solver.feasible solver
 
 let achievable_keyed ~key b ~ra ~rb =
   if ra < -1e-12 || rb < -1e-12 then false
   else
     Engine.Memo.find_or_add feasibility_cache (key, ra, rb) (fun () ->
-        probe_achievable b ~ra ~rb)
+        probe_achievable ~key b ~ra ~rb)
 
 let achievable b ~ra ~rb = achievable_keyed ~key:(bound_key b) b ~ra ~rb
 

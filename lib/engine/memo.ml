@@ -28,6 +28,17 @@ let clear t =
 let registry : (unit -> unit) list ref = ref []
 let registry_lock = Mutex.create ()
 
+(* Subscribers notified after every [clear_all]: caches that live
+   outside the table registry (per-domain warm-start solver slots, for
+   instance) observe the notification and invalidate themselves, so
+   "cold cache" stays cold for every layer. *)
+let clear_hooks : (unit -> unit) list ref = ref []
+
+let on_clear_all f =
+  Mutex.lock registry_lock;
+  clear_hooks := f :: !clear_hooks;
+  Mutex.unlock registry_lock
+
 let create ?name ?(size = 256) () =
   let metric kind =
     Option.map
@@ -48,9 +59,10 @@ let create ?name ?(size = 256) () =
 
 let clear_all () =
   Mutex.lock registry_lock;
-  let thunks = !registry in
+  let thunks = !registry and hooks = !clear_hooks in
   Mutex.unlock registry_lock;
-  List.iter (fun f -> f ()) thunks
+  List.iter (fun f -> f ()) thunks;
+  List.iter (fun f -> f ()) hooks
 
 let length t =
   Mutex.lock t.lock;

@@ -32,9 +32,17 @@ val clear : ('k, 'v) t -> unit
 val length : ('k, 'v) t -> int
 
 val clear_all : unit -> unit
-(** Clear every table ever created (each [create] registers itself).
-    This is what "cold cache" means in benchmarks: no layer of the
-    evaluation stack keeps a memoized result across the call. *)
+(** Clear every table ever created (each [create] registers itself),
+    then run every {!on_clear_all} hook. This is what "cold cache"
+    means in benchmarks: no layer of the evaluation stack keeps a
+    memoized result across the call. *)
+
+val on_clear_all : (unit -> unit) -> unit
+(** Register a hook to run after every {!clear_all}. For caches that
+    cannot live in a table registry (e.g. per-domain solver instances
+    keyed through [Domain.DLS]) the hook typically bumps an epoch that
+    each domain checks before reusing its cache. Hooks are never
+    unregistered; register from module initialisers only. *)
 
 val enabled : unit -> bool
 val set_enabled : bool -> unit

@@ -13,6 +13,9 @@ type histogram_line = {
 
 type snapshot = {
   lp_solves : int;
+  lp_pivots : int;
+  lp_warm_solves : int;
+  lp_phase1_skipped : int;
   cache_hits : int;
   cache_misses : int;
   pool_tasks : int;
@@ -24,6 +27,13 @@ let lp_solves = Telemetry.Metrics.counter "engine.lp_solves"
 let cache_hits = Telemetry.Metrics.counter "engine.cache_hits"
 let cache_misses = Telemetry.Metrics.counter "engine.cache_misses"
 let pool_tasks = Telemetry.Metrics.counter "engine.pool_tasks"
+
+(* Owned and written by the LP layer ([Linprog.Simplex] /
+   [Linprog.Solver]); the registry hands back the same handles, so the
+   snapshot can surface the pivot budget without a dependency edge. *)
+let lp_pivots = Telemetry.Metrics.counter "linprog.pivots"
+let lp_warm_solves = Telemetry.Metrics.counter "linprog.warm_solves"
+let lp_phase1_skipped = Telemetry.Metrics.counter "linprog.phase1_skipped"
 
 let record_lp_solve () = Telemetry.Metrics.incr lp_solves
 let record_hit () = Telemetry.Metrics.incr cache_hits
@@ -73,6 +83,9 @@ let snapshot () =
       (Telemetry.Metrics.histograms ())
   in
   { lp_solves = Telemetry.Metrics.value lp_solves;
+    lp_pivots = Telemetry.Metrics.value lp_pivots;
+    lp_warm_solves = Telemetry.Metrics.value lp_warm_solves;
+    lp_phase1_skipped = Telemetry.Metrics.value lp_phase1_skipped;
     cache_hits = Telemetry.Metrics.value cache_hits;
     cache_misses = Telemetry.Metrics.value cache_misses;
     pool_tasks = Telemetry.Metrics.value pool_tasks;
@@ -94,6 +107,10 @@ let to_string s =
     s.lp_solves s.cache_hits s.cache_misses
     (100. *. hit_rate s)
     s.pool_tasks;
+  if s.lp_pivots > 0 then
+    Printf.bprintf b
+      "  linprog: %d pivots total, %d warm solves, %d phase-1 skips\n"
+      s.lp_pivots s.lp_warm_solves s.lp_phase1_skipped;
   List.iter
     (fun (label, t) ->
       Printf.bprintf b "  phase %-28s %8.1f ms\n" label (1000. *. t))

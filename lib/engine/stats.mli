@@ -22,6 +22,11 @@ type histogram_line = {
 
 type snapshot = {
   lp_solves : int;       (** simplex invocations actually performed *)
+  lp_pivots : int;       (** simplex pivot iterations across all solves *)
+  lp_warm_solves : int;
+      (** solves the warm-start engine answered from a previous basis *)
+  lp_phase1_skipped : int;
+      (** warm solves that needed no phase-1 work at all *)
   cache_hits : int;      (** memo lookups answered without solving *)
   cache_misses : int;    (** memo lookups that had to compute *)
   pool_tasks : int;      (** items dispatched through parallel pool maps *)

@@ -19,7 +19,13 @@
     {b Telemetry:} every solve updates the [linprog.solves] and
     [linprog.pivots] counters and the [linprog.pivots_per_solve]
     histogram in {!Telemetry.Metrics}. These are atomic, write-only
-    observations and never influence the solution path. *)
+    observations and never influence the solution path.
+
+    This module is the cold-start reference implementation: every call
+    pays for tableau construction and phase 1. Sweeps that solve many
+    objectives over one constraint system should use {!Solver}, the
+    warm-start engine checked against this module by the QCheck
+    suite. *)
 
 type relation = Le | Ge | Eq
 

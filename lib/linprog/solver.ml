@@ -1,0 +1,497 @@
+(* Reusable warm-start simplex engine.
+
+   [Simplex] is the cold-start reference: one call builds a tableau,
+   runs phase 1, solves, and throws everything away. A [Solver.t]
+   instead owns its tableau (and every scratch buffer) for as long as
+   the caller keeps it: the constraint system is loaded once, phase 1
+   establishes a feasible basis once, and each [reoptimize ~c] restarts
+   phase 2 from the basis the previous solve ended on — feasibility is
+   invariant under objective changes, so phase 1 never re-runs on a
+   pure objective sweep. [rebuild] swaps in a new constraint system in
+   place; when the new system has the same structural shape the old
+   optimal basis is refactorised against the fresh coefficients and, if
+   it verifies feasible, phase 1 is skipped there too.
+
+   Pricing is Dantzig's rule (most positive reduced cost) for speed,
+   with an automatic, sticky fallback to Bland's rule after a run of
+   degenerate pivots — Bland cannot cycle, so termination is
+   unconditional. All scratch lives in the solver: no per-iteration
+   allocation (cf. the [Array.init] in the reference implementation).
+
+   A solver is deliberately NOT re-entrant: it mutates itself on every
+   call. Give each domain its own instance (the rate-region layer keys
+   instances per domain via [Domain.DLS]); see docs/ENGINE.md. *)
+
+type relation = Simplex.relation = Le | Ge | Eq
+
+let eps = 1e-9
+
+(* Pivot elements this small are treated as singular when refactorising
+   a carried basis; below [rhs_tol] a refactorised right-hand side is
+   considered infeasible rather than merely degenerate noise. *)
+let singular_tol = 1e-7
+let rhs_tol = 1e-10
+
+(* Shared with [Simplex] (the registry returns the same handles). *)
+let solves_counter = Telemetry.Metrics.counter "linprog.solves"
+let pivots_counter = Telemetry.Metrics.counter "linprog.pivots"
+
+let pivots_per_solve =
+  Telemetry.Metrics.histogram ~lo:1. ~growth:2. ~buckets:24
+    "linprog.pivots_per_solve"
+
+(* Warm-start telemetry: solves that started from a previously optimal
+   basis, solves where that let us skip phase 1 entirely, their pivot
+   distribution, and the row eliminations spent refactorising carried
+   bases (basis factorisation work, not simplex iterations — kept in
+   its own counter so the pivot totals stay honest). *)
+let warm_solves_counter = Telemetry.Metrics.counter "linprog.warm_solves"
+let phase1_skipped_counter = Telemetry.Metrics.counter "linprog.phase1_skipped"
+
+let pivots_per_warm_solve =
+  Telemetry.Metrics.histogram ~lo:1. ~growth:2. ~buckets:24
+    "linprog.pivots_per_warm_solve"
+
+let refactor_counter = Telemetry.Metrics.counter "linprog.refactor_eliminations"
+
+type status = Sat | Unsat
+
+type t = {
+  nvars : int;
+  (* geometry of the currently loaded (normalised) system *)
+  mutable m : int;                 (* constraint rows as loaded *)
+  mutable nrows : int;             (* active rows (redundant rows drop) *)
+  mutable ncols : int;
+  mutable first_artificial : int;
+  mutable shape : int array;       (* per-row normalised relation tag *)
+  (* tableau + preallocated scratch, grown on demand by [rebuild] *)
+  mutable rows : float array array; (* m x (ncols + 1), rhs in last col *)
+  mutable basis : int array;
+  mutable allowed : bool array;
+  mutable reduced : float array;
+  mutable cost : float array;
+  mutable saved_basis : int array; (* scratch for basis carry *)
+  mutable row_done : bool array;   (* scratch for refactorisation *)
+  (* solve-to-solve state *)
+  mutable status : status;
+  mutable pending_pivots : int;    (* pivots since the last recorded solve *)
+  mutable warm_next : bool;        (* next solve starts from a prior basis *)
+  mutable skip1_next : bool;       (* ... and phase 1 was skipped for it *)
+  stall_limit : int;
+}
+
+let nvars t = t.nvars
+
+(* ------------------------------------------------------------------ *)
+(* Tableau construction                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rel_tag = function Le -> 0 | Ge -> 1 | Eq -> 2
+
+let normalise nvars constrs =
+  List.map
+    (fun (c : Simplex.constr) ->
+      if Array.length c.Simplex.coeffs <> nvars then
+        invalid_arg "Linprog.Solver: constraint arity mismatch";
+      if c.Simplex.rhs < 0. then
+        { Simplex.coeffs = Array.map (fun a -> -.a) c.Simplex.coeffs;
+          relation =
+            (match c.Simplex.relation with Le -> Ge | Ge -> Le | Eq -> Eq);
+          rhs = -.c.Simplex.rhs;
+        }
+      else c)
+    constrs
+
+let layout nvars normalised =
+  let m = List.length normalised in
+  let n_slack =
+    List.length (List.filter (fun c -> c.Simplex.relation <> Eq) normalised)
+  in
+  let first_artificial = nvars + n_slack in
+  let n_art =
+    List.length (List.filter (fun c -> c.Simplex.relation <> Le) normalised)
+  in
+  (m, first_artificial, first_artificial + n_art)
+
+(* (Re)load the tableau with [normalised], starting every non-basic
+   slack/artificial row from the standard phase-1 basis. Arrays must
+   already be sized for the system's layout. *)
+let fill t normalised =
+  let ncols = t.ncols in
+  Array.iteri
+    (fun i r ->
+      if i < t.m then Array.fill r 0 (ncols + 1) 0.)
+    t.rows;
+  let slack = ref t.nvars and art = ref t.first_artificial in
+  List.iteri
+    (fun i (c : Simplex.constr) ->
+      let r = t.rows.(i) in
+      Array.blit c.Simplex.coeffs 0 r 0 t.nvars;
+      r.(ncols) <- c.Simplex.rhs;
+      t.shape.(i) <- rel_tag c.Simplex.relation;
+      (match c.Simplex.relation with
+      | Le ->
+        r.(!slack) <- 1.;
+        t.basis.(i) <- !slack;
+        incr slack
+      | Ge ->
+        r.(!slack) <- -1.;
+        incr slack;
+        r.(!art) <- 1.;
+        t.basis.(i) <- !art;
+        incr art
+      | Eq ->
+        r.(!art) <- 1.;
+        t.basis.(i) <- !art;
+        incr art))
+    normalised;
+  t.nrows <- t.m;
+  Array.fill t.allowed 0 ncols true
+
+(* ------------------------------------------------------------------ *)
+(* Pivoting                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Identical arithmetic to [Simplex.pivot]; only the accounting differs
+   (pivots accumulate until the next recorded solve). *)
+let eliminate t ~row ~col =
+  let r = t.rows.(row) in
+  let p = r.(col) in
+  for j = 0 to t.ncols do
+    r.(j) <- r.(j) /. p
+  done;
+  for i = 0 to t.nrows - 1 do
+    if i <> row then begin
+      let factor = t.rows.(i).(col) in
+      if factor <> 0. then
+        for j = 0 to t.ncols do
+          t.rows.(i).(j) <- t.rows.(i).(j) -. (factor *. r.(j))
+        done
+    end
+  done;
+  t.basis.(row) <- col
+
+let pivot t ~row ~col =
+  t.pending_pivots <- t.pending_pivots + 1;
+  eliminate t ~row ~col
+
+let compute_reduced t cost =
+  for j = 0 to t.ncols - 1 do
+    t.reduced.(j) <-
+      (if not t.allowed.(j) then neg_infinity
+       else begin
+         let acc = ref cost.(j) in
+         for i = 0 to t.nrows - 1 do
+           let cb = cost.(t.basis.(i)) in
+           if cb <> 0. then acc := !acc -. (cb *. t.rows.(i).(j))
+         done;
+         !acc
+       end)
+  done
+
+(* One simplex phase from the current basis. Entering column: Dantzig
+   (largest reduced cost, lowest index on ties) until [stall_limit]
+   consecutive degenerate pivots, then Bland (lowest eligible index) for
+   the rest of the phase — Bland cannot cycle, so the phase terminates.
+   Leaving row: minimum ratio, lowest basis index among ties (same rule
+   as the reference implementation). *)
+let run_phase t cost =
+  let bland = ref false and stall = ref 0 in
+  let rec loop iter =
+    if iter > 10_000 then failwith "Linprog.Solver: iteration limit exceeded";
+    compute_reduced t cost;
+    let r = t.reduced in
+    let entering = ref (-1) in
+    if !bland then (
+      try
+        for j = 0 to t.ncols - 1 do
+          if r.(j) > eps then begin
+            entering := j;
+            raise Exit
+          end
+        done
+      with Exit -> ())
+    else begin
+      let best = ref eps in
+      for j = 0 to t.ncols - 1 do
+        if r.(j) > !best then begin
+          best := r.(j);
+          entering := j
+        end
+      done
+    end;
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      let leave = ref (-1) and best = ref infinity in
+      for i = 0 to t.nrows - 1 do
+        let a = t.rows.(i).(col) in
+        if a > eps then begin
+          let ratio = t.rows.(i).(t.ncols) /. a in
+          if
+            ratio < !best -. eps
+            || (abs_float (ratio -. !best) <= eps
+               && !leave >= 0
+               && t.basis.(i) < t.basis.(!leave))
+          then begin
+            best := ratio;
+            leave := i
+          end
+        end
+      done;
+      if !leave < 0 then `Unbounded
+      else begin
+        if !best <= eps then begin
+          incr stall;
+          if !stall > t.stall_limit then bland := true
+        end
+        else stall := 0;
+        pivot t ~row:!leave ~col;
+        loop (iter + 1)
+      end
+    end
+  in
+  loop 0
+
+let objective_value t cost =
+  let acc = ref 0. in
+  for i = 0 to t.nrows - 1 do
+    let cb = cost.(t.basis.(i)) in
+    if cb <> 0. then acc := !acc +. (cb *. t.rows.(i).(t.ncols))
+  done;
+  !acc
+
+let drop_row t i =
+  if i < t.nrows - 1 then begin
+    t.rows.(i) <- t.rows.(t.nrows - 1);
+    t.basis.(i) <- t.basis.(t.nrows - 1)
+  end;
+  t.nrows <- t.nrows - 1
+
+let drive_out_artificials t =
+  let fa = t.first_artificial in
+  let i = ref 0 in
+  while !i < t.nrows do
+    if t.basis.(!i) >= fa then begin
+      let col = ref (-1) in
+      (try
+         for j = 0 to fa - 1 do
+           if abs_float t.rows.(!i).(j) > eps then begin
+             col := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !col >= 0 then begin
+        pivot t ~row:!i ~col:!col;
+        incr i
+      end
+      else drop_row t !i
+    end
+    else incr i
+  done
+
+(* Phase 1 from the standard artificial basis already loaded by [fill]:
+   maximise -(sum of artificials), then drive surviving artificials out
+   of the basis and bar them from re-entering. *)
+let phase1 t =
+  Array.fill t.cost 0 t.ncols 0.;
+  for j = t.first_artificial to t.ncols - 1 do
+    t.cost.(j) <- -1.
+  done;
+  (match run_phase t t.cost with
+  | `Unbounded -> assert false (* phase-1 objective is bounded above by 0 *)
+  | `Optimal -> ());
+  if objective_value t t.cost < -.eps then t.status <- Unsat
+  else begin
+    drive_out_artificials t;
+    for j = t.first_artificial to t.ncols - 1 do
+      t.allowed.(j) <- false
+    done;
+    t.status <- Sat
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction and in-place rebuild                                   *)
+(* ------------------------------------------------------------------ *)
+
+let create ~nvars ~constrs =
+  if nvars <= 0 then invalid_arg "Linprog.Solver.create: nvars <= 0";
+  let normalised = normalise nvars constrs in
+  let m, first_artificial, ncols = layout nvars normalised in
+  let t =
+    { nvars;
+      m;
+      nrows = m;
+      ncols;
+      first_artificial;
+      shape = Array.make m 0;
+      rows = Array.make_matrix m (ncols + 1) 0.;
+      basis = Array.make m 0;
+      allowed = Array.make ncols true;
+      reduced = Array.make ncols 0.;
+      cost = Array.make ncols 0.;
+      saved_basis = Array.make m 0;
+      row_done = Array.make m false;
+      status = Sat;
+      pending_pivots = 0;
+      warm_next = false;
+      skip1_next = false;
+      stall_limit = 20;
+    }
+  in
+  fill t normalised;
+  phase1 t;
+  t
+
+(* Refactorise the carried basis against freshly loaded rows: classic
+   Gauss-Jordan with full pivoting restricted to the carried columns.
+   Row eliminations here are basis factorisation, not simplex
+   iterations — they count into [linprog.refactor_eliminations], never
+   [linprog.pivots]. Returns false on a (near-)singular basis. *)
+let refactor_basis t =
+  let m = t.m in
+  Array.fill t.row_done 0 m false;
+  let ok = ref true in
+  for step = 0 to m - 1 do
+    if !ok then begin
+      (* unconsumed rows: [row_done] is false; unconsumed carried
+         columns: slots [step .. m-1] of [saved_basis] *)
+      let best = ref singular_tol and br = ref (-1) and bc = ref (-1) in
+      for i = 0 to m - 1 do
+        if not t.row_done.(i) then
+          for k = step to m - 1 do
+            let a = abs_float t.rows.(i).(t.saved_basis.(k)) in
+            if a > !best then begin
+              best := a;
+              br := i;
+              bc := k
+            end
+          done
+      done;
+      if !br < 0 then ok := false
+      else begin
+        Telemetry.Metrics.incr refactor_counter;
+        eliminate t ~row:!br ~col:t.saved_basis.(!bc);
+        t.row_done.(!br) <- true;
+        let tmp = t.saved_basis.(!bc) in
+        t.saved_basis.(!bc) <- t.saved_basis.(step);
+        t.saved_basis.(step) <- tmp
+      end
+    end
+  done;
+  !ok
+
+let rebuild t ~constrs =
+  let normalised = normalise t.nvars constrs in
+  let m, first_artificial, ncols = layout t.nvars normalised in
+  let same_shape =
+    t.status = Sat && t.nrows = t.m && m = t.m
+    && first_artificial = t.first_artificial
+    && ncols = t.ncols
+    && List.for_all2
+         (fun (c : Simplex.constr) i -> rel_tag c.Simplex.relation = t.shape.(i))
+         normalised
+         (List.init m Fun.id)
+  in
+  (* a carried basis never contains artificials (drive-out guarantees
+     it while nrows = m), so it is a carry candidate whenever the
+     column layout is unchanged *)
+  let carry = same_shape in
+  if carry then Array.blit t.basis 0 t.saved_basis 0 m;
+  if m <> t.m || ncols <> t.ncols then begin
+    t.rows <- Array.make_matrix m (ncols + 1) 0.;
+    t.basis <- Array.make m 0;
+    t.allowed <- Array.make (max 1 ncols) true;
+    t.reduced <- Array.make (max 1 ncols) 0.;
+    t.cost <- Array.make (max 1 ncols) 0.;
+    t.shape <- Array.make m 0;
+    t.saved_basis <- Array.make m 0;
+    t.row_done <- Array.make m false
+  end;
+  t.m <- m;
+  t.ncols <- ncols;
+  t.first_artificial <- first_artificial;
+  fill t normalised;
+  let carried =
+    carry
+    && refactor_basis t
+    &&
+    let feas = ref true in
+    for i = 0 to t.nrows - 1 do
+      if t.rows.(i).(t.ncols) < -.rhs_tol then feas := false
+    done;
+    !feas
+  in
+  if carried then begin
+    (* the carried basis is feasible for the new system: phase 1 is
+       unnecessary, artificials stay barred *)
+    for j = t.first_artificial to t.ncols - 1 do
+      t.allowed.(j) <- false
+    done;
+    t.status <- Sat;
+    t.warm_next <- true;
+    t.skip1_next <- true
+  end
+  else begin
+    if carry then fill t normalised (* refactorisation clobbered the rows *);
+    phase1 t;
+    t.warm_next <- false;
+    t.skip1_next <- false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Solving                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let record_solve t =
+  Telemetry.Metrics.incr solves_counter;
+  Telemetry.Metrics.add pivots_counter t.pending_pivots;
+  Telemetry.Metrics.observe pivots_per_solve (float_of_int t.pending_pivots);
+  if t.warm_next then begin
+    Telemetry.Metrics.incr warm_solves_counter;
+    Telemetry.Metrics.observe pivots_per_warm_solve
+      (float_of_int t.pending_pivots)
+  end;
+  if t.skip1_next then Telemetry.Metrics.incr phase1_skipped_counter;
+  t.pending_pivots <- 0;
+  (* anything solved on this instance from here on starts from the
+     basis the solve above ended on *)
+  t.warm_next <- true;
+  t.skip1_next <- true
+
+(* IEEE negative zeros can surface in basic-variable values when a
+   pivot path approaches a vertex coordinate from below; normalise them
+   so downstream rendering never prints "-0". *)
+let clean v = if v = 0. then 0. else v
+
+let reoptimize t ~c =
+  if Array.length c <> t.nvars then
+    invalid_arg "Linprog.Solver.reoptimize: objective arity mismatch";
+  match t.status with
+  | Unsat ->
+    record_solve t;
+    Simplex.Infeasible
+  | Sat ->
+    Array.fill t.cost 0 t.ncols 0.;
+    Array.blit c 0 t.cost 0 t.nvars;
+    (match run_phase t t.cost with
+    | `Unbounded ->
+      record_solve t;
+      Simplex.Unbounded
+    | `Optimal ->
+      let x = Array.make t.nvars 0. in
+      for i = 0 to t.nrows - 1 do
+        if t.basis.(i) < t.nvars then
+          x.(t.basis.(i)) <- clean t.rows.(i).(t.ncols)
+      done;
+      let objective = clean (objective_value t t.cost) in
+      record_solve t;
+      Simplex.Optimal { Simplex.x; objective })
+
+let solve_many t cs = List.map (fun c -> reoptimize t ~c) cs
+
+let feasible t =
+  let sat = t.status = Sat in
+  record_solve t;
+  sat

@@ -1,0 +1,75 @@
+(** Reusable warm-start simplex engine.
+
+    {!Simplex} is the cold-start reference implementation: every call
+    rebuilds its tableau, re-runs phase 1 and allocates per iteration.
+    A {!t} amortises all of that across a sweep. Build one per
+    constraint system with {!create} (tableau constructed once, phase 1
+    run once); then every {!reoptimize} starts phase 2 from the basis
+    the previous solve ended on. A basic feasible solution stays
+    feasible when only the objective changes, so phase 1 never re-runs
+    on an objective sweep and most solves finish in a handful of
+    pivots. {!rebuild} reloads the instance with a different constraint
+    system in place (no allocation when the structural shape matches)
+    and carries the previous optimal basis across when it verifies
+    feasible against the new coefficients — the common case for
+    sweeps over per-block fading draws, where consecutive systems share
+    a binding structure.
+
+    Internals: all scratch buffers are preallocated in the instance (no
+    per-iteration allocation), pricing is Dantzig's most-positive
+    reduced-cost rule with an automatic sticky fallback to Bland's rule
+    after a run of degenerate pivots (Bland cannot cycle, so
+    termination is unconditional), and the ratio test matches the
+    reference implementation.
+
+    {b Ownership contract:} an instance is mutable state and is NOT
+    re-entrant — never share one between domains. The rate-region layer
+    keys instances per (LP shape, domain) via [Domain.DLS]; see the
+    "LP solver architecture" section of [docs/ENGINE.md]. {!Simplex}
+    keeps its pure per-call contract and remains the reference the
+    QCheck suite checks this engine against.
+
+    {b Telemetry:} every recorded solve updates [linprog.solves],
+    [linprog.pivots] and [linprog.pivots_per_solve] exactly as the
+    reference does, plus [linprog.warm_solves] /
+    [linprog.phase1_skipped] / [linprog.pivots_per_warm_solve] for
+    solves that started from a previously optimal basis. Row
+    eliminations spent refactorising a carried basis are basis
+    factorisation, not simplex iterations; they are kept separate in
+    [linprog.refactor_eliminations]. *)
+
+type t
+
+val create : nvars:int -> constrs:Simplex.constr list -> t
+(** Build a solver for the given constraint system over [nvars]
+    non-negative variables and establish a feasible basis (phase 1).
+    Raises [Invalid_argument] on an arity mismatch. The phase-1 pivots
+    are attributed to the first solve recorded on the instance. *)
+
+val nvars : t -> int
+
+val reoptimize : t -> c:float array -> Simplex.outcome
+(** [reoptimize t ~c] maximises [c . x] over the currently loaded
+    system, warm-starting from the basis of the previous solve (or the
+    phase-1 basis right after {!create}/{!rebuild}). Records one solve
+    in telemetry. Returns [Infeasible] immediately when the loaded
+    system was proven infeasible. *)
+
+val solve_many : t -> float array list -> Simplex.outcome list
+(** Batch [reoptimize], one outcome per objective, in order — each
+    solve warm-starts from its predecessor. *)
+
+val rebuild : t -> constrs:Simplex.constr list -> unit
+(** Replace the loaded constraint system in place ([nvars] is fixed at
+    {!create}). When the new system has the same structural shape (row
+    count and per-row relations after sign normalisation), the previous
+    optimal basis is refactorised against the new coefficients and, if
+    it verifies feasible, phase 1 is skipped; otherwise (shape change,
+    singular basis, or an infeasible carried basis) the tableau is
+    reloaded and phase 1 re-runs from scratch. *)
+
+val feasible : t -> bool
+(** Whether the currently loaded system has any non-negative solution.
+    Records one solve (this is the probe entry point: pair it with
+    {!rebuild} to re-test shifted right-hand sides; a successful basis
+    carry answers without any phase-1 work). *)

@@ -1,4 +1,9 @@
-type 'a entry = { time : float; seq : int; payload : 'a }
+(* [payload] is mutable so [pop] can drop the reference: heap slots
+   beyond [len] (including the duplicated filler entries [grow] leaves
+   behind) may keep the popped entry record reachable for the queue's
+   lifetime, and without the clear a long-lived queue would pin every
+   payload it ever delivered. *)
+type 'a entry = { time : float; seq : int; mutable payload : 'a option }
 
 type 'a t = {
   mutable heap : 'a entry array;
@@ -47,7 +52,7 @@ let rec sift_down t i =
 
 let push t ~time payload =
   if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
-  let entry = { time; seq = t.next_seq; payload } in
+  let entry = { time; seq = t.next_seq; payload = Some payload } in
   t.next_seq <- t.next_seq + 1;
   if Array.length t.heap = 0 then t.heap <- Array.make 8 entry;
   grow t;
@@ -64,7 +69,15 @@ let pop t =
       t.heap.(0) <- t.heap.(t.len);
       sift_down t 0
     end;
-    Some (top.time, top.payload)
+    let payload =
+      match top.payload with
+      | Some p -> p
+      | None -> assert false (* live entries always carry their payload *)
+    in
+    (* clear the vacated entry so the popped payload is collectable even
+       while stale heap slots still reference the entry record *)
+    top.payload <- None;
+    Some (top.time, payload)
   end
 
 let peek_time t = if t.len = 0 then None else Some t.heap.(0).time

@@ -14,6 +14,8 @@ val push : 'a t -> time:float -> 'a -> unit
 (** Raises [Invalid_argument] on NaN times. *)
 
 val pop : 'a t -> (float * 'a) option
-(** Removes and returns the earliest event. *)
+(** Removes and returns the earliest event. The queue drops its
+    reference to the payload, so popped payloads are collectable even
+    while the queue itself stays live. *)
 
 val peek_time : 'a t -> float option

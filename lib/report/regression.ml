@@ -11,6 +11,7 @@ let status_name = function
 let rule_name = function
   | S.Exact -> "exact"
   | S.Time_band tol -> Printf.sprintf "band ±%.0f%%" (100. *. tol)
+  | S.Budget -> "budget"
   | S.Ignore -> "ignore"
 
 let value_string = function

@@ -102,6 +102,7 @@ let load path =
 type rule =
   | Exact
   | Time_band of float
+  | Budget
   | Ignore
 
 type policy = kind:[ `Counter | `Histogram ] -> string -> rule
@@ -115,11 +116,25 @@ let time_metric name =
   in
   suffix "_seconds" || suffix ".seconds" || prefix "phase."
 
+(* Work budgets: counters that measure how much work was spent rather
+   than what was computed. Spending less is an improvement, never a
+   violation; spending more fails the gate. Their per-solve
+   distributions are informational only — the budget counter already
+   gates the totals, and any pivot-path improvement would reshape the
+   distribution without regressing anything. *)
+let budget_counters = [ "linprog.pivots"; "linprog.refactor_eliminations" ]
+
+let budget_histograms =
+  [ "linprog.pivots_per_solve"; "linprog.pivots_per_warm_solve" ]
+
 let default_policy ?(tolerance = 0.5) () : policy =
  fun ~kind name ->
   match kind with
-  | `Counter -> Exact
-  | `Histogram -> if time_metric name then Time_band tolerance else Exact
+  | `Counter -> if List.mem name budget_counters then Budget else Exact
+  | `Histogram ->
+    if time_metric name then Time_band tolerance
+    else if List.mem name budget_histograms then Ignore
+    else Exact
 
 type value =
   | Counter of int
@@ -156,6 +171,17 @@ let pct x = 100. *. x
 let compare_counters rule a b =
   match rule with
   | Ignore -> (Match, "ignored by policy")
+  | Budget ->
+    (* budget counters gate one-sided: staying at or under the baseline
+       passes (an improvement is reported, not flagged), exceeding it
+       is a regression *)
+    if a = b then (Match, "")
+    else if b < a then
+      ( Within_band,
+        Printf.sprintf "budget improved: %d -> %d (%+d)" a b (b - a) )
+    else
+      ( Drift,
+        Printf.sprintf "budget exceeded: %d -> %d (%+d)" a b (b - a) )
   | Exact | Time_band _ ->
     (* counters are deterministic by design: any drift is a violation,
        whatever band the name would get as a histogram *)
@@ -167,7 +193,9 @@ let compare_counters rule a b =
 let compare_histograms rule a b =
   match rule with
   | Ignore -> (Match, "ignored by policy")
-  | Exact ->
+  (* [Budget] is a counter rule; a histogram assigned to it compares
+     exactly, like any other value distribution *)
+  | Budget | Exact ->
     if not (Histogram.same_geometry a b) then
       (Drift, "histogram geometry changed")
     else if Histogram.bucket_counts a <> Histogram.bucket_counts b then

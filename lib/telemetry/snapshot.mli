@@ -59,15 +59,27 @@ type rule =
           exactly): sample count must match exactly; means may differ by
           the given relative fraction (plus a 50 µs absolute slack for
           micro-histograms). *)
+  | Budget
+      (** Counters that measure work spent (simplex pivots, basis
+          refactorisations): gated one-sided. At or under the baseline
+          passes — a decrease is reported as an improvement
+          ({!Within_band}) — while exceeding the baseline is {!Drift}.
+          A histogram assigned to this rule compares as {!Exact}. *)
   | Ignore
       (** Always passes; the metric still appears in the report. *)
 
 type policy = kind:[ `Counter | `Histogram ] -> string -> rule
 
 val default_policy : ?tolerance:float -> unit -> policy
-(** Counters are [Exact]. Histograms whose name ends in [_seconds] /
-    [.seconds] or starts with [phase.] get [Time_band tolerance]
-    (default 0.5, i.e. ±50%); every other histogram is [Exact]. *)
+(** Counters are [Exact], except the work budgets [linprog.pivots] and
+    [linprog.refactor_eliminations] which are [Budget] (a pivot-count
+    regression fails the gate; an improvement passes without a baseline
+    refresh). Histograms whose name ends in [_seconds] / [.seconds] or
+    starts with [phase.] get [Time_band tolerance] (default 0.5, i.e.
+    ±50%); the per-solve pivot distributions
+    ([linprog.pivots_per_solve], [linprog.pivots_per_warm_solve]) are
+    [Ignore] — the budget counters already gate their totals; every
+    other histogram is [Exact]. *)
 
 type value =
   | Counter of int

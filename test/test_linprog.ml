@@ -363,6 +363,96 @@ let prop_scaled_rows_invariant =
         < 1e-5
       | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Warm-start solver vs the cold reference                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Outcome classes must match; optimal objectives must agree to 1e-9
+   (relative — the two engines reach the optimum through different
+   pivot sequences, so only roundoff separates them). The optimal
+   *points* may legitimately differ on a degenerate face. *)
+let same_outcome a b =
+  match (a, b) with
+  | Linprog.Simplex.Optimal s1, Linprog.Simplex.Optimal s2 ->
+    let o1 = s1.Linprog.Simplex.objective
+    and o2 = s2.Linprog.Simplex.objective in
+    abs_float (o1 -. o2) <= 1e-9 *. (1. +. Float.max (abs_float o1) (abs_float o2))
+  | Linprog.Simplex.Unbounded, Linprog.Simplex.Unbounded -> true
+  | Linprog.Simplex.Infeasible, Linprog.Simplex.Infeasible -> true
+  | _ -> false
+
+(* lp_mixed_gen spans all three outcome classes: Le-only systems are
+   bounded-feasible, Ge rows can make them infeasible, and Ge-only
+   systems are unbounded above for a positive objective. *)
+let prop_solver_matches_simplex =
+  QCheck.Test.make ~count:500
+    ~name:"Solver.reoptimize = Simplex.maximize (mixed Le/Ge)"
+    lp_mixed_gen (fun ((c1, c2), rows) ->
+      let constrs = mixed_constrs rows in
+      let c = [| c1; c2 |] in
+      let solver = Linprog.Solver.create ~nvars:2 ~constrs in
+      same_outcome (Linprog.Solver.reoptimize solver ~c) (solve_max c constrs))
+
+let objective_seq_gen =
+  QCheck.(
+    pair lp_mixed_gen
+      (list_of_size Gen.(int_range 1 8)
+         (pair (float_range (-5.) 5.) (float_range (-5.) 5.))))
+
+let prop_solver_objective_sequence =
+  (* one instance, many objectives: every warm-started solve in the
+     sequence must match a fresh cold solve of the same LP, including
+     sign flips that turn an unbounded direction on and off *)
+  QCheck.Test.make ~count:200
+    ~name:"warm-started objective sweep matches fresh cold solves"
+    objective_seq_gen (fun (((c1, c2), rows), cs) ->
+      let constrs = mixed_constrs rows in
+      let solver = Linprog.Solver.create ~nvars:2 ~constrs in
+      List.for_all
+        (fun (a, b) ->
+          let c = [| a; b |] in
+          same_outcome
+            (Linprog.Solver.reoptimize solver ~c)
+            (solve_max c constrs))
+        ((c1, c2) :: cs))
+
+(* Two systems sharing a structural shape (row count and relations), so
+   [rebuild] attempts to carry the optimal basis of the first across to
+   the second. *)
+let lp_paired_gen =
+  QCheck.(
+    pair
+      (pair (float_range 0.1 5.) (float_range 0.1 5.))
+      (list_of_size Gen.(int_range 2 6)
+         (pair
+            (quad bool (float_range 0.1 5.) (float_range 0.1 5.)
+               (float_range 0.5 20.))
+            (triple (float_range 0.1 5.) (float_range 0.1 5.)
+               (float_range 0.5 20.)))))
+
+let prop_solver_rebuild_matches_fresh =
+  QCheck.Test.make ~count:300
+    ~name:"rebuild (basis carry) matches a fresh cold solve"
+    lp_paired_gen (fun ((c1, c2), rows) ->
+      let rows1 = List.map fst rows in
+      let rows2 =
+        List.map (fun ((is_ge, _, _, _), (a, b, r)) -> (is_ge, a, b, r)) rows
+      in
+      let constrs2 = mixed_constrs rows2 in
+      let c = [| c1; c2 |] in
+      let solver =
+        Linprog.Solver.create ~nvars:2 ~constrs:(mixed_constrs rows1)
+      in
+      (* establish an optimal basis on system 1 so the rebuild has
+         something to carry (create alone only leaves a phase-1 basis) *)
+      ignore (Linprog.Solver.reoptimize solver ~c);
+      Linprog.Solver.rebuild solver ~constrs:constrs2;
+      same_outcome (Linprog.Solver.reoptimize solver ~c)
+        (solve_max c constrs2)
+      && Bool.equal
+           (Linprog.Solver.feasible solver)
+           (Linprog.Simplex.feasible ~nvars:2 ~constrs:constrs2))
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_simplex_matches_brute_force;
@@ -371,6 +461,9 @@ let qcheck_cases =
       prop_feasible_agrees_with_maximize;
       prop_duplicate_rows_invariant;
       prop_scaled_rows_invariant;
+      prop_solver_matches_simplex;
+      prop_solver_objective_sequence;
+      prop_solver_rebuild_matches_fresh;
     ]
 
 let suites =

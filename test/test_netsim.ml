@@ -48,6 +48,46 @@ let test_queue_interleaved () =
   in
   Alcotest.(check int) "all drained" 500 (drain neg_infinity 0)
 
+(* A popped payload must be collectable even while the queue lives on:
+   the heap array retains entry records in vacated slots (and [grow]
+   duplicates a filler entry), so [pop] has to clear the payload field.
+   Watch one payload through a weak pointer and force a full GC. *)
+let test_queue_pop_releases_payload () =
+  let q = Netsim.Event_queue.create () in
+  let w = Weak.create 1 in
+  (* boxed payload allocated in a helper so the test frame holds no
+     strong reference after the call *)
+  let push_tracked () =
+    let payload = ref 42 in
+    Weak.set w 0 (Some payload);
+    Netsim.Event_queue.push q ~time:1. payload
+  in
+  push_tracked ();
+  (* keep the queue non-trivial: later events stay pending, forcing the
+     popped entry's old slots to stick around inside the live heap *)
+  for i = 2 to 9 do
+    Netsim.Event_queue.push q ~time:(float_of_int i) (ref i)
+  done;
+  (* pop in its own frame so no stack slot of this function keeps the
+     payload reachable when the GC runs below *)
+  let pop_and_check () =
+    match Netsim.Event_queue.pop q with
+    | Some (t, p) ->
+      Alcotest.(check (float 0.)) "popped first" 1. t;
+      Alcotest.(check int) "payload intact" 42 !p
+    | None -> Alcotest.fail "queue was non-empty"
+  in
+  pop_and_check ();
+  Alcotest.(check int) "rest still queued" 8 (Netsim.Event_queue.size q);
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload collected (not pinned by queue)"
+    true
+    (Weak.get w 0 = None);
+  (* the queue still works after the clear *)
+  match Netsim.Event_queue.pop q with
+  | Some (t, _) -> Alcotest.(check (float 0.)) "next event" 2. t
+  | None -> Alcotest.fail "remaining events lost"
+
 let test_queue_size_and_nan () =
   let q = Netsim.Event_queue.create () in
   Alcotest.(check bool) "empty" true (Netsim.Event_queue.is_empty q);
@@ -353,6 +393,8 @@ let suites =
         Alcotest.test_case "fifo ties" `Quick test_queue_fifo_ties;
         Alcotest.test_case "interleaved" `Quick test_queue_interleaved;
         Alcotest.test_case "size and nan" `Quick test_queue_size_and_nan;
+        Alcotest.test_case "pop releases payload" `Quick
+          test_queue_pop_releases_payload;
       ] );
     ( "netsim.engine",
       [ Alcotest.test_case "clock" `Quick test_engine_clock;
