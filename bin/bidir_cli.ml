@@ -570,6 +570,120 @@ let profile_cmd =
     Term.(const run $ engine_args ~default_domains:2 () $ workload_arg)
 
 (* ------------------------------------------------------------------ *)
+(* campaign                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let campaign_cmd =
+  let workload_arg =
+    Arg.(value & opt string "ergodic"
+         & info [ "workload" ] ~docv:"W"
+             ~doc:(Printf.sprintf "Replication workload: %s."
+                     (String.concat ", " Campaign.Workloads.names)))
+  in
+  let replications_arg =
+    Arg.(value & opt int 200
+         & info [ "n"; "replications" ] ~docv:"N"
+             ~doc:"Target number of replications.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Root of the replication substream tree; together with \
+                   the workload it fully determines the output.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 32
+         & info [ "batch" ] ~docv:"K"
+             ~doc:"Replications per scheduling round (checkpoint and \
+                   stopping-rule granularity). Independent of \
+                   $(b,--domains), so checkpoints and early stops do not \
+                   depend on the parallelism either.")
+  in
+  let ci_target_arg =
+    Arg.(value & opt (some float) None
+         & info [ "ci-target" ] ~docv:"W"
+             ~doc:"Stop early once every value metric's 95% confidence \
+                   half-width is at most $(docv) (checked at batch \
+                   boundaries).")
+  in
+  let checkpoint_arg =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Write a resumable JSON checkpoint to $(docv) after \
+                   every batch.")
+  in
+  let resume_arg =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Load $(b,--checkpoint) and continue from its completed \
+                   count; the final result is byte-identical to an \
+                   uninterrupted run.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the result JSON to $(docv) instead of stdout.")
+  in
+  let run engine workload replications seed batch ci_target checkpoint resume
+      out =
+    with_engine engine @@ fun () ->
+    match Campaign.Workloads.by_name workload with
+    | None ->
+      Printf.eprintf "unknown workload %S (%s)\n" workload
+        (String.concat "|" Campaign.Workloads.names);
+      exit 2
+    | Some make ->
+      let cfg =
+        { Campaign.Runner.seed;
+          replications;
+          domains = engine.domains;
+          batch;
+          checkpoint;
+          resume;
+          ci_target;
+        }
+      in
+      let result =
+        try Campaign.Runner.run cfg (make ())
+        with Invalid_argument msg ->
+          Printf.eprintf "campaign: %s\n" msg;
+          exit 2
+      in
+      let rendered =
+        Telemetry.Json.to_string_pretty
+          (Campaign.Runner.result_to_json result)
+        ^ "\n"
+      in
+      (match out with
+      | None -> print_string rendered
+      | Some path ->
+        write_file path rendered;
+        Printf.eprintf "campaign: wrote %s\n" path)
+  in
+  let doc =
+    "Run a sharded Monte-Carlo replication campaign over a netsim \
+     workload."
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Fans $(b,--replications) independent replications of the chosen \
+          workload across $(b,--domains) worker domains. Replication \
+          $(i,i) always draws from the $(i,i)-th substream of a fixed \
+          RNG split tree rooted at $(b,--seed), and results merge in \
+          replication order, so the output is byte-identical for every \
+          domain count — parallelism changes wall time only.";
+      `P "With $(b,--checkpoint) the campaign can be interrupted and \
+          resumed ($(b,--resume)) without changing the result; with \
+          $(b,--ci-target) it stops as soon as every metric's 95% \
+          confidence interval is tight enough.";
+    ]
+  in
+  Cmd.v (Cmd.info "campaign" ~doc ~man)
+    Term.(const run $ engine_args () $ workload_arg $ replications_arg
+          $ seed_arg $ batch_arg $ ci_target_arg $ checkpoint_arg
+          $ resume_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
 (* check                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -592,7 +706,16 @@ let check_workload () =
            (Netsim.Runner.default_config ~protocol:Bidir.Protocol.Tdbc
               ~power_db:10. ~gains:Channel.Gains.paper_fig4 ~blocks:20
               ~block_symbols:1_000 ())
-          : Netsim.Runner.result))
+          : Netsim.Runner.result));
+  (* a smoke campaign over the outage workload: gates the replication
+     count and the merged delivery/outage counters exactly *)
+  Engine.Stats.timed "check:campaign" (fun () ->
+      ignore
+        (Campaign.Runner.run
+           (Campaign.Runner.default_config ~seed:7 ~batch:16 ~replications:64
+              ())
+           (Campaign.Workloads.runner ~blocks_per_rep:10 ~block_symbols:400 ())
+          : Campaign.Runner.result))
 
 let check_cmd =
   let against_arg =
@@ -698,7 +821,7 @@ let main_cmd =
   let info = Cmd.info "bidir" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ figures_cmd; sumrate_cmd; region_cmd; simulate_cmd; sweep_cmd;
-      select_cmd; arq_cmd; profile_cmd; check_cmd ]
+      select_cmd; arq_cmd; profile_cmd; campaign_cmd; check_cmd ]
 
 let () =
   Fmt_tty.setup_std_outputs ();

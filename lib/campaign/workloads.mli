@@ -1,0 +1,44 @@
+(** Ready-made campaign workloads over the core and netsim layers.
+
+    Each workload derives every seed it needs from the replication's own
+    RNG substream, so a campaign over any of them is deterministic in
+    the campaign seed alone (and therefore byte-identical across domain
+    counts — see {!Campaign}). *)
+
+val ergodic :
+  ?blocks_per_rep:int -> ?power_db:float -> ?mean_gains:Channel.Gains.t ->
+  ?protocol:Bidir.Protocol.t -> unit -> Runner.workload
+(** Per replication: estimate the full-CSI ergodic sum rate over
+    [blocks_per_rep] (default 200) Rayleigh-fading blocks with a fresh
+    fading process. Values: [sum_rate] (bits/use). Counts: [blocks].
+    The campaign mean converges to {!Bidir.Ergodic.ergodic_sum_rate}'s
+    analytic long-run value, which the cross-check test exploits.
+    Defaults: [power_db = 10], Fig. 4 mean gains, TDBC. *)
+
+val runner :
+  ?blocks_per_rep:int -> ?block_symbols:int -> ?power_db:float ->
+  ?mean_gains:Channel.Gains.t -> ?protocol:Bidir.Protocol.t -> unit ->
+  Runner.workload
+(** Per replication: run the block-level simulator for [blocks_per_rep]
+    (default 20) blocks of [block_symbols] (default 500) symbols with a
+    schedule fixed at the mean gains, under Rayleigh fading — so blocks
+    whose realised gains fall short incur outages. Values: [throughput]
+    (bits/use), [outage_rate]. Counts: [delivered_bits],
+    [failed_deliveries]. *)
+
+val traffic :
+  ?blocks_per_rep:int -> ?block_symbols:int -> ?load:float ->
+  ?power_db:float -> ?gains:Channel.Gains.t -> ?protocol:Bidir.Protocol.t ->
+  unit -> Runner.workload
+(** Per replication: drive the queueing layer for [blocks_per_rep]
+    (default 400) blocks at offered [load] (default 0.85) of the
+    protocol's sum capacity. Values: [mean_delay_blocks],
+    [p95_delay_blocks], [utilisation], [max_queue_bits]. Counts:
+    [offered_bits], [carried_bits]. *)
+
+val by_name : string -> (unit -> Runner.workload) option
+(** Default-parameter constructors for the CLI: ["ergodic"], ["runner"],
+    ["traffic"] (case-insensitive). *)
+
+val names : string list
+(** The recognised workload names, in presentation order. *)

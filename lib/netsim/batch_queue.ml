@@ -1,0 +1,49 @@
+type t = {
+  mutable front : (float * int) list;  (* oldest first *)
+  mutable back : (float * int) list;   (* newest first *)
+  mutable bits : int;
+  mutable length : int;
+}
+
+let create () = { front = []; back = []; bits = 0; length = 0 }
+
+let is_empty q = q.length = 0
+
+let bits q = q.bits
+
+let length q = q.length
+
+let enqueue q ~arrival ~bits =
+  if bits > 0 then begin
+    q.back <- (arrival, bits) :: q.back;
+    q.bits <- q.bits + bits;
+    q.length <- q.length + 1
+  end
+
+let drain q ~budget ~now =
+  let rec go budget acc =
+    match q.front with
+    | [] ->
+      if q.back = [] then acc
+      else begin
+        q.front <- List.rev q.back;
+        q.back <- [];
+        go budget acc
+      end
+    | (arrival, bits) :: rest ->
+      if bits <= budget then begin
+        q.front <- rest;
+        q.bits <- q.bits - bits;
+        q.length <- q.length - 1;
+        go (budget - bits) ((now -. arrival) :: acc)
+      end
+      else begin
+        (* partial service: the batch head shrinks, no completion yet *)
+        if budget > 0 then begin
+          q.front <- (arrival, bits - budget) :: rest;
+          q.bits <- q.bits - budget
+        end;
+        acc
+      end
+  in
+  go budget []

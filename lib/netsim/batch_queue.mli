@@ -1,0 +1,33 @@
+(** Constant-time FIFO of (arrival, bits) traffic batches.
+
+    A two-list (Okasaki) queue: [enqueue] conses onto the back list in
+    O(1), and [drain] serves from the front list, reversing the back
+    list into the front only when the front runs dry — so every batch is
+    moved at most once and a full enqueue/serve cycle is amortised O(1)
+    per batch. The previous list-append implementation was O(n) per
+    enqueue, i.e. O(n^2) exactly in the overload regime the delay
+    curves probe. *)
+
+type t
+
+val create : unit -> t
+
+val is_empty : t -> bool
+
+val bits : t -> int
+(** Total queued bits (partial service of the head batch included). *)
+
+val length : t -> int
+(** Number of queued batches. *)
+
+val enqueue : t -> arrival:float -> bits:int -> unit
+(** Append a batch stamped with its arrival time. Batches with
+    [bits <= 0] are ignored. O(1). *)
+
+val drain : t -> budget:int -> now:float -> float list
+(** Serve up to [budget] bits in FIFO order and return the sojourn
+    times [now - arrival] of the batches that completed, most recently
+    completed first (the order the previous implementation produced).
+    A batch larger than the remaining budget is served partially: its
+    head shrinks and it completes in a later call. Amortised O(1) per
+    completed batch. *)

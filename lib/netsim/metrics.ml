@@ -66,6 +66,7 @@ let phase_outages t =
   |> List.sort compare
 
 let bit_errors t = t.bit_errors
+let failed_deliveries t = t.deliveries_failed
 
 let block_bits_histogram t = t.block_bits
 

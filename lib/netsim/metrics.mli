@@ -31,6 +31,9 @@ val phase_outages : t -> (int * int) list
 
 val bit_errors : t -> int
 
+val failed_deliveries : t -> int
+(** Message deliveries that failed (the numerator of {!outage_rate}). *)
+
 val block_bits_histogram : t -> Telemetry.Histogram.t
 (** Distribution of delivered bits per block (both directions summed),
     backed by the shared telemetry histogram type. The histogram is

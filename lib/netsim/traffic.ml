@@ -17,36 +17,6 @@ type result = {
   utilisation : float;
 }
 
-(* a FIFO of (arrival_block, bits) batches *)
-type queue = { mutable batches : (float * int) list; mutable bits : int }
-
-let enqueue q ~arrival ~bits =
-  if bits > 0 then begin
-    q.batches <- q.batches @ [ (arrival, bits) ];
-    q.bits <- q.bits + bits
-  end
-
-(* drain up to [budget] bits; returns the sojourn times (in blocks) of
-   batches completed at [now] *)
-let drain q ~budget ~now =
-  let rec go budget acc =
-    match q.batches with
-    | [] -> acc
-    | (arrival, bits) :: rest ->
-      if bits <= budget then begin
-        q.batches <- rest;
-        q.bits <- q.bits - bits;
-        go (budget - bits) ((now -. arrival) :: acc)
-      end
-      else begin
-        (* partial service: the batch head shrinks, no completion yet *)
-        q.batches <- (arrival, bits - budget) :: rest;
-        q.bits <- q.bits - budget;
-        acc
-      end
-  in
-  go budget []
-
 let run cfg =
   if cfg.load <= 0. then invalid_arg "Traffic.run: load must be positive";
   if cfg.blocks <= 0 || cfg.block_symbols < 100 then
@@ -72,8 +42,10 @@ let run cfg =
     else cfg.load *. float_of_int serve_b /. float_of_int frame_b
   in
   let rng = Prob.Rng.create ~seed:cfg.seed in
-  let q_a = { batches = []; bits = 0 } in
-  let q_b = { batches = []; bits = 0 } in
+  (* amortised-O(1) two-list queues: with the old list-append FIFO an
+     overload horizon cost O(blocks^2) in the enqueue path alone *)
+  let q_a = Batch_queue.create () in
+  let q_b = Batch_queue.create () in
   let delays = ref [] in
   let offered = ref 0 and max_queue = ref 0 in
   (* Poisson batch: number of bits arriving in one block is Poisson with
@@ -99,20 +71,24 @@ let run cfg =
     let frames_a = poisson offer_frames_a and frames_b = poisson offer_frames_b in
     offered := !offered + (frames_a * frame_a) + (frames_b * frame_b);
     for _ = 1 to frames_a do
-      enqueue q_a ~arrival:now ~bits:frame_a
+      Batch_queue.enqueue q_a ~arrival:now ~bits:frame_a
     done;
     for _ = 1 to frames_b do
-      enqueue q_b ~arrival:now ~bits:frame_b
+      Batch_queue.enqueue q_b ~arrival:now ~bits:frame_b
     done;
+    (* the peak backlog is reached right after the arrivals land, before
+       the block serves: sampling after the drain (as this loop used to)
+       under-reports the high-water mark by up to a block's service *)
+    let backlog = Batch_queue.bits q_a + Batch_queue.bits q_b in
+    if backlog > !max_queue then max_queue := backlog;
     (* the block serves at the end of its slot *)
-    let done_a = drain q_a ~budget:serve_a ~now:(now +. 1.) in
-    let done_b = drain q_b ~budget:serve_b ~now:(now +. 1.) in
+    let done_a = Batch_queue.drain q_a ~budget:serve_a ~now:(now +. 1.) in
+    let done_b = Batch_queue.drain q_b ~budget:serve_b ~now:(now +. 1.) in
     List.iter (fun d -> delays := d :: !delays) done_a;
-    List.iter (fun d -> delays := d :: !delays) done_b;
-    if q_a.bits + q_b.bits > !max_queue then max_queue := q_a.bits + q_b.bits
+    List.iter (fun d -> delays := d :: !delays) done_b
   done;
   (* carried = offered minus what is still queued *)
-  let carried_bits = !offered - q_a.bits - q_b.bits in
+  let carried_bits = !offered - Batch_queue.bits q_a - Batch_queue.bits q_b in
   let delays = Array.of_list !delays in
   let mean_delay, p95 =
     if Array.length delays = 0 then (0., 0.)

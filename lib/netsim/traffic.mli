@@ -31,7 +31,10 @@ type result = {
   mean_delay_blocks : float;       (** mean sojourn time of delivered
                                        arrivals, in block units *)
   p95_delay_blocks : float;
-  max_queue_bits : int;            (** high-water mark across queues *)
+  max_queue_bits : int;            (** high-water mark across queues,
+                                       sampled after each block's
+                                       arrivals and before its service
+                                       (the pre-drain peak) *)
   utilisation : float;             (** carried / (capacity x horizon) *)
 }
 

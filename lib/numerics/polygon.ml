@@ -1,4 +1,4 @@
-let area poly =
+let signed_area_2x poly =
   match poly with
   | [] | [ _ ] | [ _; _ ] -> 0.
   | _ ->
@@ -9,7 +9,9 @@ let area poly =
       let a = arr.(i) and b = arr.((i + 1) mod n) in
       acc := !acc +. Vec2.cross a b
     done;
-    abs_float (!acc /. 2.)
+    !acc
+
+let area poly = abs_float (signed_area_2x poly /. 2.)
 
 let contains poly p =
   match poly with
@@ -19,10 +21,15 @@ let contains poly p =
   | _ ->
     let arr = Array.of_list poly in
     let n = Array.length arr in
+    (* normalise orientation: interior points sit on the left of every
+       edge of a CCW polygon and on the right for a CW one, so test
+       against the sign of the polygon's signed area (a clockwise
+       vertex list used to report every interior point as outside) *)
+    let sign = if signed_area_2x poly < 0. then -1. else 1. in
     let ok = ref true in
     for i = 0 to n - 1 do
       let a = arr.(i) and b = arr.((i + 1) mod n) in
-      if Vec2.orient a b p < -1e-9 then ok := false
+      if sign *. Vec2.orient a b p < -1e-9 then ok := false
     done;
     !ok
 

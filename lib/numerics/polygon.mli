@@ -1,23 +1,30 @@
 (** Convex polygon operations for rate regions.
 
-    A polygon is a list of vertices in counter-clockwise order. Rate
-    regions are "down-closed" convex sets in the positive quadrant: if
-    [(ra, rb)] is achievable so is any componentwise-smaller pair. *)
+    A polygon is a list of vertices in boundary order — either
+    counter-clockwise or clockwise; operations that care about
+    orientation normalise internally via the sign of the shoelace area,
+    so both windings describe the same point set. Rate regions are
+    "down-closed" convex sets in the positive quadrant: if [(ra, rb)]
+    is achievable so is any componentwise-smaller pair. *)
 
 val area : Vec2.t list -> float
-(** Shoelace area; non-negative for counter-clockwise polygons. *)
+(** Shoelace area; non-negative whichever way the polygon winds. *)
 
 val contains : Vec2.t list -> Vec2.t -> bool
-(** [contains poly p] tests membership of [p] in the closed convex polygon
-    [poly] (CCW order), with a small tolerance on the boundary. *)
+(** [contains poly p] tests membership of [p] in the closed convex
+    polygon [poly], with a small tolerance on the boundary. CCW and CW
+    vertex orders give identical answers (the orientation is read off
+    the signed area, so a clockwise region no longer reports its
+    interior as outside). *)
 
 val point_segment_distance : Vec2.t -> Vec2.t -> Vec2.t -> float
 (** [point_segment_distance p a b] is the Euclidean distance from [p] to
     the segment [a]–[b]. *)
 
 val distance_to_boundary : Vec2.t list -> Vec2.t -> float
-(** [distance_to_boundary poly p] is the minimum distance from [p] to any
-    edge of [poly]. *)
+(** [distance_to_boundary poly p] is the minimum distance from [p] to
+    any edge of [poly] — an unsigned quantity, so it is independent of
+    the winding direction by construction. *)
 
 val down_closure : Vec2.t list -> Vec2.t list
 (** [down_closure pts] is the convex hull of [pts] together with their

@@ -1,23 +1,50 @@
-type t = { mutable state : int64 }
+(* SplitMix64 (Steele, Lea, Flood, OOPSLA 2014): full 2^64 period per
+   stream, passes BigCrush, and supports stream splitting. Each
+   generator carries its own additive constant ("gamma"); [create]
+   always uses the golden-ratio gamma so seeded sequences are stable
+   across versions, while [split] derives a fresh odd gamma for the
+   child so two streams whose states ever coincide still diverge. *)
+
+type t = { mutable state : int64; gamma : int64 }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let create ~seed = { state = Int64.of_int seed }
+let create ~seed = { state = Int64.of_int seed; gamma = golden_gamma }
 
-let copy t = { state = t.state }
+let copy t = { state = t.state; gamma = t.gamma }
 
-(* splitmix64 step (Steele, Lea, Flood 2014): full 2^64 period, passes
-   BigCrush, and trivially supports stream splitting. *)
+(* splitmix64 output mix *)
 let next_int64 t =
-  t.state <- Int64.add t.state golden_gamma;
+  t.state <- Int64.add t.state t.gamma;
   let z = t.state in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+let popcount64 x =
+  let c = ref 0 in
+  let x = ref x in
+  while !x <> 0L do
+    x := Int64.logand !x (Int64.sub !x 1L);
+    incr c
+  done;
+  !c
+
+(* The published mixGamma: a MurmurHash3-finalizer variant forced odd,
+   with a guard that the constant has at least 24 bit transitions so the
+   Weyl sequence it drives is well mixed. *)
+let mix_gamma z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  let z = Int64.logor (Int64.logxor z (Int64.shift_right_logical z 33)) 1L in
+  if popcount64 (Int64.logxor z (Int64.shift_right_logical z 1)) < 24 then
+    Int64.logxor z 0xAAAAAAAAAAAAAAAAL
+  else z
+
 let split t =
   let seed_bits = next_int64 t in
-  { state = seed_bits }
+  let gamma_bits = next_int64 t in
+  { state = seed_bits; gamma = mix_gamma gamma_bits }
 
 let float t =
   (* top 53 bits -> [0, 1) *)

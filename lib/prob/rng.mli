@@ -11,8 +11,13 @@ val create : seed:int -> t
 (** [create ~seed] builds a generator; equal seeds give equal streams. *)
 
 val split : t -> t
-(** [split t] derives an independent generator, advancing [t]. Useful for
-    giving each simulated node its own stream. *)
+(** [split t] derives an independent generator, advancing [t] by two
+    draws. The child gets its own state {e and} its own odd additive
+    constant (SplitMix64's [mixGamma] applied to a second parent draw),
+    so a child stream whose state happens to coincide with another
+    stream's still diverges on the next step — the property per-shard
+    Monte-Carlo substreams rely on. Useful for giving each simulated
+    node or campaign replication its own stream. *)
 
 val copy : t -> t
 

@@ -1,0 +1,231 @@
+(* Tests for the sharded Monte-Carlo campaign runner: the determinism
+   contract (byte-identical results across domain counts and across
+   checkpoint/resume), the sequential stopping rule, config validation,
+   and the cross-check that a campaign over the ergodic workload agrees
+   with [Bidir.Ergodic]'s analytic long-run estimate. *)
+
+module R = Campaign.Runner
+module W = Campaign.Workloads
+module J = Telemetry.Json
+
+let render result = J.to_string (R.result_to_json result)
+
+(* A cheap synthetic workload: a few RNG draws per replication, so the
+   determinism tests exercise the sharding machinery rather than the
+   simulator. The values have known population moments (standard
+   normals), which the stopping-rule test leans on. *)
+let synthetic =
+  {
+    R.name = "synthetic";
+    replicate =
+      (fun ~rep:_ ~rng ->
+        let x = Prob.Dist.standard_normal rng in
+        let y =
+          Prob.Dist.standard_normal rng +. Prob.Dist.standard_normal rng
+        in
+        {
+          R.values = [ ("x", x); ("y", y) ];
+          counts = [ ("draws", 3) ];
+        });
+  }
+
+let with_temp_checkpoint f =
+  let path = Filename.temp_file "campaign_ckpt" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across domain counts                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_domains_byte_identical () =
+  let run domains =
+    render
+      (R.run
+         (R.default_config ~seed:23 ~domains ~batch:8 ~replications:24 ())
+         (W.ergodic ~blocks_per_rep:30 ()))
+  in
+  let one = run 1 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check string)
+        (Printf.sprintf "domains=%d matches domains=1" domains)
+        one (run domains))
+    [ 2; 8 ]
+
+(* The batch size sets checkpoint granularity only: any batch size must
+   merge to the same result because accumulation is sequential in
+   replication order. *)
+let test_batch_size_invariant () =
+  let run batch =
+    render
+      (R.run
+         (R.default_config ~seed:5 ~batch ~replications:20 ())
+         synthetic)
+  in
+  let baseline = run 32 in
+  List.iter
+    (fun batch ->
+      Alcotest.(check string)
+        (Printf.sprintf "batch=%d matches batch=32" batch)
+        baseline (run batch))
+    [ 1; 7; 20 ]
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / resume                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_resume_byte_identical () =
+  with_temp_checkpoint (fun path ->
+      let fresh =
+        R.run (R.default_config ~seed:9 ~batch:5 ~replications:24 ()) synthetic
+      in
+      let partial =
+        R.run
+          (R.default_config ~seed:9 ~batch:5 ~checkpoint:path
+             ~replications:10 ())
+          synthetic
+      in
+      Alcotest.(check int) "partial run completed" 10 partial.R.completed;
+      let resumed =
+        R.run
+          (R.default_config ~seed:9 ~batch:5 ~checkpoint:path ~resume:true
+             ~domains:3 ~replications:24 ())
+          synthetic
+      in
+      Alcotest.(check string) "resumed result matches uninterrupted run"
+        (render fresh) (render resumed))
+
+let test_resume_rejects_mismatched_seed () =
+  with_temp_checkpoint (fun path ->
+      ignore
+        (R.run
+           (R.default_config ~seed:9 ~checkpoint:path ~replications:8 ())
+           synthetic
+          : R.result);
+      match
+        R.run
+          (R.default_config ~seed:10 ~checkpoint:path ~resume:true
+             ~replications:8 ())
+          synthetic
+      with
+      | (_ : R.result) -> Alcotest.fail "seed mismatch accepted"
+      | exception Invalid_argument msg ->
+        Alcotest.(check bool) "error names the seed" true
+          (String.length msg > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Stopping rule                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_stopping_rule_stops_early () =
+  let result =
+    R.run
+      (R.default_config ~seed:3 ~batch:8 ~ci_target:10. ~replications:400 ())
+      synthetic
+  in
+  Alcotest.(check bool) "stopped early" true result.R.stopped_early;
+  Alcotest.(check bool) "at least the minimum replications" true
+    (result.R.completed >= 8);
+  Alcotest.(check bool) "fewer than the target" true
+    (result.R.completed < 400);
+  (* counters reflect the replications actually run, not the target *)
+  Alcotest.(check int) "draw counter matches completed count"
+    (3 * result.R.completed)
+    (List.assoc "draws" result.R.counters)
+
+let test_tight_target_runs_to_completion () =
+  let result =
+    R.run
+      (R.default_config ~seed:3 ~batch:8 ~ci_target:1e-9 ~replications:16 ())
+      synthetic
+  in
+  Alcotest.(check bool) "did not stop early" false result.R.stopped_early;
+  Alcotest.(check int) "ran every replication" 16 result.R.completed
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_config_validation () =
+  let invalid msg cfg =
+    match ignore (R.run cfg synthetic : R.result) with
+    | () -> Alcotest.failf "%s: expected Invalid_argument" msg
+    | exception Invalid_argument _ -> ()
+  in
+  invalid "zero replications" (R.default_config ~replications:0 ());
+  invalid "zero batch" (R.default_config ~batch:0 ~replications:4 ());
+  invalid "zero domains" (R.default_config ~domains:0 ~replications:4 ());
+  invalid "resume without checkpoint"
+    (R.default_config ~resume:true ~replications:4 ());
+  invalid "non-positive ci target"
+    (R.default_config ~ci_target:0. ~replications:4 ())
+
+(* ------------------------------------------------------------------ *)
+(* Summaries and the ergodic cross-check                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_shape () =
+  let result =
+    R.run (R.default_config ~seed:1 ~replications:64 ()) synthetic
+  in
+  let x = List.assoc "x" result.R.values in
+  Alcotest.(check int) "per-metric count" 64 x.R.count;
+  let lo, hi = x.R.ci95 in
+  Alcotest.(check bool) "mean inside its own CI" true
+    (lo <= x.R.mean && x.R.mean <= hi);
+  Alcotest.(check bool) "quantiles ordered" true
+    (x.R.min <= x.R.p50 && x.R.p50 <= x.R.p90 && x.R.p90 <= x.R.p99
+   && x.R.p99 <= x.R.max);
+  (* 64 standard-normal means: the CI should comfortably cover 0 *)
+  Alcotest.(check bool) "standard-normal mean near zero" true
+    (lo <= 0. && 0. <= hi)
+
+(* The campaign estimate and [Bidir.Ergodic]'s direct long-run estimate
+   target the same expectation, so their 95% intervals must overlap. *)
+let test_ergodic_cross_check () =
+  let result =
+    R.run
+      (R.default_config ~seed:17 ~batch:8 ~replications:24 ())
+      (W.ergodic ~blocks_per_rep:60 ())
+  in
+  let sum_rate = List.assoc "sum_rate" result.R.values in
+  let campaign_lo, campaign_hi = sum_rate.R.ci95 in
+  let analytic =
+    Bidir.Ergodic.ergodic_sum_rate ~blocks:2_000
+      (Channel.Fading.create ~rng_seed:77 ~mean:Channel.Gains.paper_fig4 ())
+      ~power:(Numerics.Float_utils.db_to_lin 10.)
+      Bidir.Protocol.Tdbc
+  in
+  let analytic_lo, analytic_hi = analytic.Bidir.Ergodic.ci95 in
+  Alcotest.(check bool)
+    (Printf.sprintf "campaign [%g, %g] overlaps analytic [%g, %g]"
+       campaign_lo campaign_hi analytic_lo analytic_hi)
+    true
+    (campaign_lo <= analytic_hi && analytic_lo <= campaign_hi);
+  Alcotest.(check int) "block counter merged exactly" (24 * 60)
+    (List.assoc "blocks" result.R.counters)
+
+let suites =
+  [ ( "campaign.determinism",
+      [ Alcotest.test_case "byte-identical across domains" `Quick
+          test_domains_byte_identical;
+        Alcotest.test_case "batch size does not change results" `Quick
+          test_batch_size_invariant;
+        Alcotest.test_case "checkpoint/resume matches uninterrupted run"
+          `Quick test_resume_byte_identical;
+        Alcotest.test_case "resume refuses mismatched seed" `Quick
+          test_resume_rejects_mismatched_seed;
+      ] );
+    ( "campaign.runner",
+      [ Alcotest.test_case "stopping rule stops early" `Quick
+          test_stopping_rule_stops_early;
+        Alcotest.test_case "tight target runs to completion" `Quick
+          test_tight_target_runs_to_completion;
+        Alcotest.test_case "config validation" `Quick test_config_validation;
+        Alcotest.test_case "summary shape" `Quick test_summary_shape;
+        Alcotest.test_case "ergodic campaign matches analytic estimate"
+          `Quick test_ergodic_cross_check;
+      ] );
+  ]

@@ -373,6 +373,125 @@ let test_traffic_validation () =
     (Invalid_argument "Traffic.run: load must be positive") (fun () ->
       ignore (Netsim.Traffic.run (traffic_config ~load:0. Bidir.Protocol.Dt)))
 
+(* Exact hand-computed trace through the batch queue, covering partial
+   service, multi-batch completion and the front/back rotation. *)
+let test_batch_queue_hand_trace () =
+  let q = Netsim.Batch_queue.create () in
+  Netsim.Batch_queue.enqueue q ~arrival:0. ~bits:30;
+  Netsim.Batch_queue.enqueue q ~arrival:0. ~bits:20;
+  Alcotest.(check int) "50 bits queued" 50 (Netsim.Batch_queue.bits q);
+  Alcotest.(check int) "2 batches" 2 (Netsim.Batch_queue.length q);
+  (* budget 40 at t=1: first batch (30) completes with sojourn 1, the
+     second is served 10 of 20 bits — no completion *)
+  Alcotest.(check (list (float 1e-12))) "first drain" [ 1. ]
+    (Netsim.Batch_queue.drain q ~budget:40 ~now:1.);
+  Alcotest.(check int) "10 bits remain" 10 (Netsim.Batch_queue.bits q);
+  Netsim.Batch_queue.enqueue q ~arrival:1. ~bits:5;
+  (* budget 40 at t=2: the partially-served batch (arrival 0, sojourn 2)
+     then the new one (arrival 1, sojourn 1) both complete; the most
+     recent completion is listed first *)
+  Alcotest.(check (list (float 1e-12))) "second drain" [ 1.; 2. ]
+    (Netsim.Batch_queue.drain q ~budget:40 ~now:2.);
+  Alcotest.(check bool) "empty" true (Netsim.Batch_queue.is_empty q);
+  Alcotest.(check (list (float 1e-12))) "drain on empty" []
+    (Netsim.Batch_queue.drain q ~budget:10 ~now:3.);
+  (* zero budget performs no partial service *)
+  Netsim.Batch_queue.enqueue q ~arrival:3. ~bits:7;
+  Alcotest.(check (list (float 1e-12))) "zero budget" []
+    (Netsim.Batch_queue.drain q ~budget:0 ~now:4.);
+  Alcotest.(check int) "untouched" 7 (Netsim.Batch_queue.bits q)
+
+(* The two-list queue must be observationally identical to the original
+   list-append FIFO: replay one random op sequence through both. *)
+let test_batch_queue_matches_list_reference () =
+  (* the seed implementation, verbatim *)
+  let module Ref = struct
+    type t = { mutable batches : (float * int) list; mutable bits : int }
+
+    let create () = { batches = []; bits = 0 }
+
+    let enqueue q ~arrival ~bits =
+      if bits > 0 then begin
+        q.batches <- q.batches @ [ (arrival, bits) ];
+        q.bits <- q.bits + bits
+      end
+
+    let drain q ~budget ~now =
+      let rec go budget acc =
+        match q.batches with
+        | [] -> acc
+        | (arrival, bits) :: rest ->
+          if bits <= budget then begin
+            q.batches <- rest;
+            q.bits <- q.bits - bits;
+            go (budget - bits) ((now -. arrival) :: acc)
+          end
+          else begin
+            q.batches <- (arrival, bits - budget) :: rest;
+            q.bits <- q.bits - budget;
+            acc
+          end
+      in
+      go budget []
+  end in
+  let rng = Prob.Rng.create ~seed:31 in
+  let q = Netsim.Batch_queue.create () and r = Ref.create () in
+  for block = 0 to 499 do
+    let now = float_of_int block in
+    for _ = 1 to Prob.Rng.int rng 6 do
+      let bits = Prob.Rng.int rng 120 in
+      Netsim.Batch_queue.enqueue q ~arrival:now ~bits;
+      Ref.enqueue r ~arrival:now ~bits
+    done;
+    let budget = Prob.Rng.int rng 260 in
+    let dq = Netsim.Batch_queue.drain q ~budget ~now:(now +. 1.) in
+    let dr = Ref.drain r ~budget ~now:(now +. 1.) in
+    Alcotest.(check (list (float 0.)))
+      (Printf.sprintf "block %d completions" block)
+      dr dq;
+    Alcotest.(check int)
+      (Printf.sprintf "block %d bits" block)
+      r.Ref.bits (Netsim.Batch_queue.bits q)
+  done
+
+(* Overload regression: at load 0.95 over 20k blocks the old O(n)
+   list-append enqueue made this run quadratic; with the two-list queue
+   it completes well inside the alcotest budget. *)
+let test_traffic_overload_horizon_completes () =
+  let r =
+    Netsim.Traffic.run
+      { (traffic_config ~load:0.95 Bidir.Protocol.Tdbc) with
+        Netsim.Traffic.blocks = 20_000;
+      }
+  in
+  Alcotest.(check bool) "something carried" true
+    (r.Netsim.Traffic.carried_bits > 0)
+
+(* The reported peak backlog must be the pre-service maximum. Under
+   sustained overload the backlog at the last block, just after its
+   arrivals, is (still-queued bits) + (the full service both directions
+   consume in that block) — so the high-water mark is at least that.
+   The old post-drain sampling reported exactly the still-queued bits
+   and fails this bound. *)
+let test_traffic_peak_sampled_before_service () =
+  let cfg = { (traffic_config ~load:1.5 Bidir.Protocol.Tdbc) with
+              Netsim.Traffic.blocks = 2_000 } in
+  let r = Netsim.Traffic.run cfg in
+  (* recompute the per-block service exactly as [run] derives it *)
+  let s =
+    Bidir.Gaussian.scenario_lin ~power:cfg.Netsim.Traffic.power
+      ~gains:cfg.Netsim.Traffic.gains
+  in
+  let opt =
+    Bidir.Optimize.sum_rate cfg.Netsim.Traffic.protocol Bidir.Bound.Inner s
+  in
+  let n = float_of_int cfg.Netsim.Traffic.block_symbols in
+  let serve_a = int_of_float (opt.Bidir.Optimize.ra *. n) in
+  let serve_b = int_of_float (opt.Bidir.Optimize.rb *. n) in
+  let backlog = r.Netsim.Traffic.offered_bits - r.Netsim.Traffic.carried_bits in
+  Alcotest.(check bool) "peak >= final backlog + last block's service" true
+    (r.Netsim.Traffic.max_queue_bits >= backlog + serve_a + serve_b)
+
 let test_traffic_comparison_table () =
   let t =
     Netsim.Traffic.comparison_table ~offered:[ 2.5; 4.2 ] ~blocks:400
@@ -395,6 +514,13 @@ let traffic_cases =
     Alcotest.test_case "overload queues" `Quick test_traffic_overload_queues;
     Alcotest.test_case "validation" `Quick test_traffic_validation;
     Alcotest.test_case "comparison table" `Quick test_traffic_comparison_table;
+    Alcotest.test_case "batch queue hand trace" `Quick test_batch_queue_hand_trace;
+    Alcotest.test_case "batch queue = list reference" `Quick
+      test_batch_queue_matches_list_reference;
+    Alcotest.test_case "20k-block overload completes" `Quick
+      test_traffic_overload_horizon_completes;
+    Alcotest.test_case "peak sampled before service" `Quick
+      test_traffic_peak_sampled_before_service;
   ]
 
 let suites = suites @ [ ("netsim.traffic", traffic_cases) ]

@@ -222,6 +222,20 @@ let test_polygon_contains () =
   Alcotest.(check bool) "outside" false
     (Numerics.Polygon.contains square (v 2.1 1.))
 
+(* regression: a clockwise vertex list used to report every interior
+   point as outside *)
+let test_polygon_contains_clockwise () =
+  let cw_square = [ v 0. 2.; v 2. 2.; v 2. 0.; v 0. 0. ] in
+  Alcotest.(check bool) "cw inside" true
+    (Numerics.Polygon.contains cw_square (v 1. 1.));
+  Alcotest.(check bool) "cw boundary" true
+    (Numerics.Polygon.contains cw_square (v 2. 1.));
+  Alcotest.(check bool) "cw outside" false
+    (Numerics.Polygon.contains cw_square (v 2.1 1.));
+  check_float "cw area" 4. (Numerics.Polygon.area cw_square);
+  check_float "cw distance" 1.
+    (Numerics.Polygon.distance_to_boundary cw_square (v 1. 1.))
+
 let test_down_closure () =
   let region = Numerics.Polygon.down_closure [ v 1. 2.; v 2. 1. ] in
   Alcotest.(check bool) "origin inside" true
@@ -339,6 +353,28 @@ let prop_quantile_monotone =
       let q75 = Numerics.Stats.quantile a 0.75 in
       q25 <= q50 && q50 <= q75)
 
+let prop_polygon_orientation_invariant =
+  QCheck.Test.make ~count:200
+    ~name:"contains/area/distance agree on CCW and CW windings"
+    QCheck.(
+      pair pts_gen
+        (pair (float_bound_exclusive 12.) (float_bound_exclusive 12.)))
+    (fun (pts, (px, py)) ->
+      let pts = List.map (fun (x, y) -> v x y) pts in
+      let hull = Numerics.Hull.convex_hull pts in
+      match hull with
+      | [] | [ _ ] | [ _; _ ] -> true
+      | _ ->
+        let cw = List.rev hull in
+        let p = v px py in
+        Numerics.Polygon.contains hull p = Numerics.Polygon.contains cw p
+        && abs_float (Numerics.Polygon.area hull -. Numerics.Polygon.area cw)
+           < 1e-9
+        && abs_float
+             (Numerics.Polygon.distance_to_boundary hull p
+              -. Numerics.Polygon.distance_to_boundary cw p)
+           < 1e-9)
+
 let prop_brent_finds_root =
   QCheck.Test.make ~count:100 ~name:"brent solves monotone cubic"
     QCheck.(float_range 0.1 50.)
@@ -369,6 +405,7 @@ let qcheck_cases =
       prop_hull_convex;
       prop_clamp_in_range;
       prop_quantile_monotone;
+      prop_polygon_orientation_invariant;
       prop_brent_finds_root;
       prop_erf_odd;
       prop_summarize_bounds;
@@ -418,6 +455,8 @@ let suites =
         Alcotest.test_case "hull duplicates" `Quick test_hull_duplicates;
         Alcotest.test_case "polygon area" `Quick test_polygon_area;
         Alcotest.test_case "polygon contains" `Quick test_polygon_contains;
+        Alcotest.test_case "polygon contains clockwise" `Quick
+          test_polygon_contains_clockwise;
         Alcotest.test_case "down closure" `Quick test_down_closure;
         Alcotest.test_case "distance to boundary" `Quick test_distance_to_boundary;
       ] );

@@ -30,6 +30,36 @@ let test_split_distinct () =
   Alcotest.(check bool) "split differs from parent" false
     (Prob.Rng.next_int64 r = Prob.Rng.next_int64 s)
 
+(* Regression for the shared-gamma split bug: every stream used to share
+   the golden gamma, so two streams whose states ever coincided stayed
+   identical forever. With per-stream gammas from [mixGamma], sibling
+   streams and parent/child prefixes must stay collision-free (any
+   positionwise equality over 1e4 draws has probability ~2^-64 per
+   position, so zero matches is the overwhelmingly likely outcome for a
+   correct splitter — and the broken one collides everywhere). *)
+let prop_split_streams_diverge =
+  QCheck.Test.make ~count:20
+    ~name:"split: sibling and parent/child prefixes don't collide (1e4 draws)"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let parent = Prob.Rng.create ~seed in
+      let c1 = Prob.Rng.split parent in
+      let c2 = Prob.Rng.split parent in
+      let grandchild = Prob.Rng.split (Prob.Rng.copy c1) in
+      let n = 10_000 in
+      let draw r = Array.init n (fun _ -> Prob.Rng.next_int64 r) in
+      let ac1 = draw c1 and ac2 = draw c2 in
+      let ag = draw grandchild and ap = draw parent in
+      let collisions x y =
+        let c = ref 0 in
+        for i = 0 to n - 1 do
+          if x.(i) = y.(i) then incr c
+        done;
+        !c
+      in
+      collisions ac1 ac2 = 0 && collisions ap ac1 = 0
+      && collisions ap ac2 = 0 && collisions ag ac1 = 0)
+
 let test_float_range_bounds () =
   let r = Prob.Rng.create ~seed:3 in
   for _ = 1 to 1000 do
@@ -154,6 +184,7 @@ let suites =
         Alcotest.test_case "int invalid" `Quick test_int_invalid;
         Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
         Alcotest.test_case "bernoulli frequency" `Quick test_bernoulli_frequency;
+        QCheck_alcotest.to_alcotest prop_split_streams_diverge;
       ] );
     ( "prob.dist",
       [ Alcotest.test_case "normal moments" `Quick test_normal_moments;
