@@ -543,6 +543,73 @@ let queue_comparison () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Network: multi-pair relay assignment, greedy vs LP                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The assignment layer swept over network size: for each K the rate
+   table is evaluated once (the dominant cost, fanned across the pool)
+   and then both allocators run on the same table, so the greedy-vs-LP
+   gap and the pivot budget are measured on identical inputs. The
+   headline keys (sum rate, pivots, gap at the largest K) feed the
+   trajectory line. *)
+let network_comparison () =
+  hr "NETWORK: relay assignment, greedy vs fractional-matching LP";
+  let relays = 3 and seed = 23 in
+  let sweep =
+    List.map
+      (fun pairs ->
+        let scenario = Network.Scenario.random ~pairs ~relays ~seed () in
+        let t0 = Unix.gettimeofday () in
+        let table = Network.Assign.rate_table scenario in
+        let t1 = Unix.gettimeofday () in
+        let greedy = Network.Assign.solve_table Network.Assign.Greedy table in
+        let lp = Network.Assign.solve_table Network.Assign.Lp table in
+        let t2 = Unix.gettimeofday () in
+        let gap =
+          if lp.Network.Assign.sum_rate <= 0. then 0.
+          else
+            (lp.Network.Assign.sum_rate -. greedy.Network.Assign.sum_rate)
+            /. lp.Network.Assign.sum_rate
+        in
+        Printf.printf
+          "K=%4d R=%d: greedy %8.3f, LP %8.3f bits/use (gap %+5.2f%%, %3d \
+           pivots); table %7.1f ms, assign %5.1f ms\n"
+          pairs relays greedy.Network.Assign.sum_rate
+          lp.Network.Assign.sum_rate (100. *. gap)
+          lp.Network.Assign.assignment_pivots
+          (1000. *. (t1 -. t0))
+          (1000. *. (t2 -. t1));
+        ( pairs, greedy, lp, gap, t1 -. t0, t2 -. t1 ))
+      [ 8; 32; 128 ]
+  in
+  let point (pairs, greedy, lp, gap, table_dt, assign_dt) =
+    Telemetry.Json.Obj
+      [ ("pairs", Telemetry.Json.Int pairs);
+        ("relays", Telemetry.Json.Int relays);
+        ( "greedy_sum_rate",
+          Telemetry.Json.Float greedy.Network.Assign.sum_rate );
+        ("lp_sum_rate", Telemetry.Json.Float lp.Network.Assign.sum_rate);
+        ("greedy_lp_gap", Telemetry.Json.Float gap);
+        ( "assignment_pivots",
+          Telemetry.Json.Int lp.Network.Assign.assignment_pivots );
+        ("table_seconds", Telemetry.Json.Float table_dt);
+        ("assign_seconds", Telemetry.Json.Float assign_dt);
+      ]
+  in
+  let _, _, last_lp, last_gap, _, _ =
+    List.nth sweep (List.length sweep - 1)
+  in
+  Telemetry.Json.Obj
+    [ ("seed", Telemetry.Json.Int seed);
+      ("sweep", Telemetry.Json.List (List.map point sweep));
+      ( "network_sum_rate",
+        Telemetry.Json.Float last_lp.Network.Assign.sum_rate );
+      ( "network_assignment_pivots",
+        Telemetry.Json.Int last_lp.Network.Assign.assignment_pivots );
+      ("network_greedy_lp_gap", Telemetry.Json.Float last_gap);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -726,6 +793,23 @@ let write_campaign_json ~campaign ~queue =
     (fun () -> output_string oc (Telemetry.Json.to_string_pretty json));
   Printf.printf "\nwrote %s\n" campaign_json_path
 
+let network_json_path = "BENCH_network.json"
+
+(* Network-layer numbers in their own document: the greedy-vs-LP
+   assignment sweep this bench tracks for the multi-pair extension. *)
+let write_network_json ~network =
+  let json =
+    Telemetry.Json.Obj
+      [ ("schema", Telemetry.Json.String "bidir-bench-network/1");
+        ("network", network);
+      ]
+  in
+  let oc = open_out network_json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Telemetry.Json.to_string_pretty json));
+  Printf.printf "\nwrote %s\n" network_json_path
+
 (* ------------------------------------------------------------------ *)
 (* Baseline snapshot + trajectory                                      *)
 (* ------------------------------------------------------------------ *)
@@ -739,7 +823,7 @@ let trajectory_path = "BENCH_trajectory.jsonl"
    trajectory across commits; the full-fidelity baseline for `bidir
    check` style diffing lives in BENCH_snapshot.json. *)
 let append_trajectory ~(snapshot : Telemetry.Snapshot.t) ~comparison ~lp
-    ~campaign ~queue =
+    ~campaign ~queue ~network =
   let hist_summary h =
     Telemetry.Json.Obj
       [ ("count", Telemetry.Json.Int (Telemetry.Histogram.count h));
@@ -789,7 +873,14 @@ let append_trajectory ~(snapshot : Telemetry.Snapshot.t) ~comparison ~lp
             match Telemetry.Json.member key queue with
             | Some v -> [ (key, v) ]
             | None -> [])
-          [ "queue_speedup"; "queue_results_equal" ])
+          [ "queue_speedup"; "queue_results_equal" ]
+      @ List.concat_map
+          (fun key ->
+            match Telemetry.Json.member key network with
+            | Some v -> [ (key, v) ]
+            | None -> [])
+          [ "network_sum_rate"; "network_assignment_pivots";
+            "network_greedy_lp_gap" ])
   in
   let oc =
     open_out_gen [ Open_append; Open_creat ] 0o644 trajectory_path
@@ -817,9 +908,12 @@ let () =
   let lp = lp_comparison () in
   let campaign = campaign_comparison () in
   let queue = queue_comparison () in
+  let network = network_comparison () in
   write_bench_json ~repro_stats ~repro_telemetry ~comparison ~lp;
   write_campaign_json ~campaign ~queue;
-  append_trajectory ~snapshot:repro_snapshot ~comparison ~lp ~campaign ~queue;
+  write_network_json ~network;
+  append_trajectory ~snapshot:repro_snapshot ~comparison ~lp ~campaign ~queue
+    ~network;
   if not quick then begin
     (* time the real kernels, not cache lookups *)
     Engine.Memo.with_enabled false run_benchmarks

@@ -684,6 +684,142 @@ let campaign_cmd =
           $ resume_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
+(* network                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let network_cmd =
+  let pairs_arg =
+    Arg.(value & opt int 16
+         & info [ "pairs" ] ~docv:"K"
+             ~doc:"Number of terminal pairs in the random topology.")
+  in
+  let relays_arg =
+    Arg.(value & opt int 3
+         & info [ "relays" ] ~docv:"R"
+             ~doc:"Number of shared candidate relays.")
+  in
+  let assign_arg =
+    let parse s =
+      match Network.Assign.strategy_of_string s with
+      | Some st -> Ok st
+      | None -> Error (`Msg (Printf.sprintf "unknown strategy %S (greedy|lp)" s))
+    in
+    let print fmt st =
+      Format.fprintf fmt "%s" (Network.Assign.strategy_name st)
+    in
+    Arg.(value & opt (conv (parse, print)) Network.Assign.Lp
+         & info [ "assign" ] ~docv:"STRATEGY"
+             ~doc:"Airtime assignment: $(b,greedy) (independent per-pair \
+                   selection, equal split per relay) or $(b,lp) (the \
+                   coupled fractional-matching LP).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Topology seed; together with --pairs/--relays it fully \
+                   determines the scenario and hence the output.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the solution JSON to $(docv) (deterministic: \
+                   byte-identical for any --domains).")
+  in
+  let run engine pairs relays strategy seed out =
+    with_engine engine @@ fun () ->
+    if pairs < 1 || relays < 1 then begin
+      Printf.eprintf "--pairs and --relays must be >= 1\n";
+      exit 2
+    end;
+    let scenario = Network.Scenario.random ~pairs ~relays ~seed () in
+    let table = Network.Assign.rate_table scenario in
+    let solution = Network.Assign.solve_table strategy table in
+    (* the greedy baseline reuses the evaluated table, so reporting the
+       coordination gap costs no further rate-region LPs *)
+    let greedy =
+      match strategy with
+      | Network.Assign.Greedy -> solution
+      | Network.Assign.Lp ->
+        Network.Assign.solve_table Network.Assign.Greedy table
+    in
+    Printf.printf
+      "network: %d pairs, %d relays, seed %d, %s assignment\n" pairs relays
+      seed
+      (Network.Assign.strategy_name strategy);
+    if pairs <= 24 then begin
+      let rows =
+        List.map
+          (fun (l : Network.Assign.link) ->
+            [ l.Network.Assign.pair_id;
+              l.Network.Assign.relay_id;
+              Bidir.Protocol.name l.Network.Assign.protocol;
+              Printf.sprintf "%.4f" l.Network.Assign.standalone;
+              Printf.sprintf "%.3f" l.Network.Assign.share;
+              Printf.sprintf "%.4f" l.Network.Assign.rate;
+            ])
+          solution.Network.Assign.links
+      in
+      print_string
+        (Chart.Table.render
+           ~headers:[ "pair"; "relay"; "protocol"; "standalone"; "share";
+                      "rate" ]
+           ~rows)
+    end;
+    let rates = List.map snd solution.Network.Assign.per_pair in
+    let served = List.filter (fun r -> r > 1e-9) rates in
+    Printf.printf "aggregate sum rate  %.4f bits/use\n"
+      solution.Network.Assign.sum_rate;
+    Printf.printf "pairs served        %d / %d\n" (List.length served) pairs;
+    Printf.printf "mean pair rate      %.4f bits/use\n"
+      (solution.Network.Assign.sum_rate /. float_of_int pairs);
+    (match strategy with
+    | Network.Assign.Greedy -> ()
+    | Network.Assign.Lp ->
+      Printf.printf
+        "greedy baseline     %.4f bits/use (LP gains %+.2f%%); %d \
+         assignment pivots\n"
+        greedy.Network.Assign.sum_rate
+        (100.
+        *. ((solution.Network.Assign.sum_rate
+             /. Float.max greedy.Network.Assign.sum_rate 1e-12)
+           -. 1.))
+        solution.Network.Assign.assignment_pivots);
+    match out with
+    | None -> ()
+    | Some path ->
+      let json =
+        Telemetry.Json.Obj
+          [ ("schema", Telemetry.Json.String "bidir-network/1");
+            ("pairs", Telemetry.Json.Int pairs);
+            ("relays", Telemetry.Json.Int relays);
+            ("seed", Telemetry.Json.Int seed);
+            ("greedy_sum_rate",
+             Telemetry.Json.Float greedy.Network.Assign.sum_rate);
+            ("solution", Network.Assign.to_json solution);
+          ]
+      in
+      write_file path (Telemetry.Json.to_string_pretty json ^ "\n");
+      Printf.eprintf "network: wrote %s\n" path
+  in
+  let doc =
+    "Solve relay assignment and airtime scheduling on a random K-pair, \
+     R-relay topology."
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Draws a deterministic random topology ($(b,--seed)), evaluates \
+          the standalone optimal sum rate of every (pair, relay, protocol) \
+          triple with the single-pair machinery (fanned across \
+          $(b,--domains); byte-identical for any count), and allocates \
+          relay airtime either greedily or by the coupled assignment LP. \
+          See docs/NETWORK.md for the model.";
+    ]
+  in
+  Cmd.v (Cmd.info "network" ~doc ~man)
+    Term.(const run $ engine_args () $ pairs_arg $ relays_arg $ assign_arg
+          $ seed_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
 (* check                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -715,7 +851,19 @@ let check_workload () =
            (Campaign.Runner.default_config ~seed:7 ~batch:16 ~replications:64
               ())
            (Campaign.Workloads.runner ~blocks_per_rep:10 ~block_symbols:400 ())
-          : Campaign.Runner.result))
+          : Campaign.Runner.result));
+  (* a fixed multi-pair network solve: gates the assignment-LP pivot
+     budget (network.assignment_pivots, one-sided) and the per-pair
+     sum-rate histogram exactly *)
+  Engine.Stats.timed "check:network" (fun () ->
+      let scenario = Network.Scenario.random ~pairs:12 ~relays:3 ~seed:5 () in
+      let table = Network.Assign.rate_table scenario in
+      ignore
+        (Network.Assign.solve_table Network.Assign.Lp table
+          : Network.Assign.solution);
+      ignore
+        (Network.Assign.solve_table Network.Assign.Greedy table
+          : Network.Assign.solution))
 
 let check_cmd =
   let against_arg =
@@ -821,7 +969,7 @@ let main_cmd =
   let info = Cmd.info "bidir" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ figures_cmd; sumrate_cmd; region_cmd; simulate_cmd; sweep_cmd;
-      select_cmd; arq_cmd; profile_cmd; campaign_cmd; check_cmd ]
+      select_cmd; arq_cmd; profile_cmd; campaign_cmd; network_cmd; check_cmd ]
 
 let () =
   Fmt_tty.setup_std_outputs ();

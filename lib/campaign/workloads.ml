@@ -102,11 +102,48 @@ let traffic ?(blocks_per_rep = 400) ?(block_symbols = 500) ?(load = 0.85)
         });
   }
 
-let names = [ "ergodic"; "runner"; "traffic" ]
+let network ?(pairs = 24) ?(relays = 3) ?(strategy = Network.Assign.Lp) () =
+  if pairs <= 0 then invalid_arg "Workloads.network: pairs must be > 0";
+  if relays <= 0 then invalid_arg "Workloads.network: relays must be > 0";
+  { Runner.name = "network";
+    replicate =
+      (fun ~rep:_ ~rng ->
+        let scenario =
+          Network.Scenario.random ~pairs ~relays ~seed:(draw_seed rng) ()
+        in
+        let table = Network.Assign.rate_table scenario in
+        let solution = Network.Assign.solve_table strategy table in
+        (* the greedy allocation reuses the already-evaluated table, so
+           the per-replication greedy-vs-LP gap is nearly free *)
+        let greedy = Network.Assign.solve_table Network.Assign.Greedy table in
+        let gap =
+          if solution.Network.Assign.sum_rate > 0. then
+            (solution.Network.Assign.sum_rate
+            -. greedy.Network.Assign.sum_rate)
+            /. solution.Network.Assign.sum_rate
+          else 0.
+        in
+        { Runner.values =
+            [ ("greedy_gap", gap);
+              ("mean_pair_rate",
+               solution.Network.Assign.sum_rate /. float_of_int pairs);
+              ("sum_rate", solution.Network.Assign.sum_rate);
+            ];
+          counts =
+            [ ("assignment_pivots",
+               solution.Network.Assign.assignment_pivots);
+              ("pairs", pairs);
+              ("relays", relays);
+            ];
+        });
+  }
+
+let names = [ "ergodic"; "runner"; "traffic"; "network" ]
 
 let by_name name =
   match String.lowercase_ascii name with
   | "ergodic" -> Some (fun () -> ergodic ())
   | "runner" -> Some (fun () -> runner ())
   | "traffic" -> Some (fun () -> traffic ())
+  | "network" -> Some (fun () -> network ())
   | _ -> None

@@ -36,9 +36,22 @@ val traffic :
     [p95_delay_blocks], [utilisation], [max_queue_bits]. Counts:
     [offered_bits], [carried_bits]. *)
 
+val network :
+  ?pairs:int -> ?relays:int -> ?strategy:Network.Assign.strategy -> unit ->
+  Runner.workload
+(** Per replication: draw a random [pairs]-pair, [relays]-relay topology
+    (default 24 x 3) from the replication substream, evaluate its
+    standalone rate table once, and solve the airtime assignment with
+    [strategy] (default LP) {e and} greedily on the same table. Values:
+    [sum_rate] (aggregate, bits/use), [mean_pair_rate], [greedy_gap]
+    (relative LP-over-greedy improvement). Counts: [assignment_pivots],
+    [pairs], [relays]. Sweeping [pairs] into the thousands is the
+    intended use — the rate table dominates the cost and fans across
+    domains. *)
+
 val by_name : string -> (unit -> Runner.workload) option
 (** Default-parameter constructors for the CLI: ["ergodic"], ["runner"],
-    ["traffic"] (case-insensitive). *)
+    ["traffic"], ["network"] (case-insensitive). *)
 
 val names : string list
 (** The recognised workload names, in presentation order. *)

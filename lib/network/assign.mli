@@ -1,0 +1,98 @@
+(** Relay assignment and airtime scheduling for a {!Scenario}.
+
+    Pairs sharing a relay (and pairs sharing the spectrum through
+    different relays) are kept orthogonal in time: pair [k] operating
+    through relay [r] receives an airtime share [x_kr] of that relay,
+    during which it runs its best single-pair protocol at the
+    standalone optimal sum rate [s_kr] (so its carried rate is
+    [x_kr * s_kr] — rates scale linearly with airtime exactly as the
+    bound systems scale with phase durations). The scheduling
+    constraints are
+
+    {[ sum_r x_kr <= 1   (each pair has unit airtime)
+       sum_k x_kr <= 1   (each relay has unit airtime)
+       x_kr >= 0 ]}
+
+    which couple every pair into one feasibility polytope — a
+    transportation / fractional-matching LP. Two solvers:
+
+    - {!Greedy}: each pair independently picks its best (relay,
+      protocol) — the network analogue of {!Bidir.Relay_selection.best}
+      — and each relay's airtime is split equally among the pairs that
+      chose it. Always feasible, fair, no LP.
+    - {!Lp}: maximise the aggregate rate [sum_kr s_kr x_kr] over the
+      polytope above with the warm-start {!Linprog.Solver}. Because the
+      greedy allocation is a feasible point of the same LP, the LP
+      optimum is never below the greedy aggregate; the gap between the
+      two is the price of uncoordinated selection.
+
+    The standalone rates [s_kr] — one per (pair, relay, protocol)
+    triple, maximised over protocols — come from the single-pair
+    machinery ({!Bidir.Optimize} via {!Bidir.Relay_selection.best}),
+    whose LPs ride the per-shape warm solvers with cross-system basis
+    carry: consecutive (pair, relay) systems share binding structure,
+    so most solves skip phase 1. At [K = R = 1] both strategies
+    degenerate to the seed theory byte-for-byte (share 1.0, rate
+    [s_11]); the property suite pins this.
+
+    {b Telemetry}: every {!solve_table} runs under a [network.assign]
+    span and lands its duration in [network.assign_seconds]; LP solves
+    add their simplex pivots to the [network.assignment_pivots] budget
+    counter (gated one-sided by [bidir check]); each pair's achieved
+    rate is observed in the [network.pair_sum_rate] histogram. *)
+
+type strategy = Greedy | Lp
+
+val strategy_name : strategy -> string
+val strategy_of_string : string -> strategy option
+(** Case-insensitive ["greedy"] / ["lp"]. *)
+
+type table = {
+  scenario : Scenario.t;
+  choices : Bidir.Relay_selection.choice array array;
+      (** [choices.(k).(r)]: pair [k]'s best protocol, standalone sum
+          rate and phase schedule through relay [r] *)
+}
+
+val rate_table : ?protocols:Bidir.Protocol.t list -> Scenario.t -> table
+(** Evaluate the standalone optimum of every (pair, relay) combination,
+    maximised over [protocols] (default {!Bidir.Protocol.coded}); pairs
+    are fanned across {!Engine.Pool} domains (byte-identical results
+    for any domain count). Raises [Invalid_argument] on an empty
+    protocol list. *)
+
+type link = {
+  pair_id : string;
+  relay_id : string;
+  protocol : Bidir.Protocol.t;
+  standalone : float;  (** full-airtime optimal sum rate of the triple *)
+  share : float;       (** airtime fraction granted, in (0, 1] *)
+  rate : float;        (** [share *. standalone] *)
+}
+
+type solution = {
+  strategy : strategy;
+  links : link list;
+      (** allocations with positive share, pair-major in scenario order *)
+  per_pair : (string * float) list;
+      (** every pair's achieved rate (0 for pairs the LP starves),
+          in scenario order *)
+  sum_rate : float;    (** aggregate network rate, [sum per_pair] *)
+  assignment_pivots : int;
+      (** simplex pivots spent on the assignment LP (0 for {!Greedy}) *)
+}
+
+val solve_table : strategy -> table -> solution
+(** Solve the airtime allocation on an already-evaluated table (cheap:
+    the standalone rates dominate the cost, so compare strategies by
+    reusing one table). Deterministic: equal tables and strategy give
+    byte-identical solutions. *)
+
+val solve :
+  ?protocols:Bidir.Protocol.t list -> strategy -> Scenario.t -> solution
+(** [rate_table] then [solve_table]. *)
+
+val to_json : solution -> Telemetry.Json.t
+(** Deterministic rendering (scenario order, round-trippable floats):
+    equal solutions produce byte-identical JSON — the CI smoke compares
+    domain counts with [cmp]. *)

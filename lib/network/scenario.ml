@@ -1,0 +1,106 @@
+type pair = {
+  pair_id : string;
+  power : float;
+  candidates : Bidir.Relay_selection.candidate array;
+}
+
+type t = {
+  relay_ids : string array;
+  pairs : pair array;
+}
+
+let make ~relay_ids ~pairs =
+  if Array.length relay_ids = 0 then
+    invalid_arg "Network.Scenario.make: no relays";
+  if pairs = [] then invalid_arg "Network.Scenario.make: no pairs";
+  List.iter
+    (fun p ->
+      if not (p.power > 0.) then
+        invalid_arg
+          (Printf.sprintf "Network.Scenario.make: pair %s: power must be > 0"
+             p.pair_id);
+      if Array.length p.candidates <> Array.length relay_ids then
+        invalid_arg
+          (Printf.sprintf
+             "Network.Scenario.make: pair %s: %d candidates for %d relays"
+             p.pair_id
+             (Array.length p.candidates)
+             (Array.length relay_ids));
+      Array.iteri
+        (fun r (c : Bidir.Relay_selection.candidate) ->
+          if c.Bidir.Relay_selection.relay_id <> relay_ids.(r) then
+            invalid_arg
+              (Printf.sprintf
+                 "Network.Scenario.make: pair %s: candidate %d is %S, \
+                  expected %S"
+                 p.pair_id r c.Bidir.Relay_selection.relay_id relay_ids.(r)))
+        p.candidates)
+    pairs;
+  { relay_ids; pairs = Array.of_list pairs }
+
+(* distances clamped away from 0 so the power-law gain stays finite
+   when a node lands on top of another *)
+let min_distance = 0.05
+
+let random ?(exponent = 3.) ?(power_db_lo = 5.) ?(power_db_hi = 15.) ~pairs
+    ~relays ~seed () =
+  if pairs <= 0 then invalid_arg "Network.Scenario.random: pairs must be > 0";
+  if relays <= 0 then invalid_arg "Network.Scenario.random: relays must be > 0";
+  if not (exponent > 0.) then
+    invalid_arg "Network.Scenario.random: exponent must be > 0";
+  if power_db_hi < power_db_lo then
+    invalid_arg "Network.Scenario.random: empty power range";
+  let rng = Prob.Rng.create ~seed in
+  let point () =
+    let x = Prob.Rng.float rng in
+    let y = Prob.Rng.float rng in
+    (x, y)
+  in
+  let gain d = Float.max d min_distance ** -.exponent in
+  let dist (x1, y1) (x2, y2) = Float.hypot (x1 -. x2) (y1 -. y2) in
+  let relay_ids = Array.init relays (Printf.sprintf "r%02d") in
+  let relay_pos = Array.init relays (fun _ -> point ()) in
+  let one_pair k =
+    let a = point () in
+    let b = point () in
+    let power_db =
+      if power_db_hi = power_db_lo then power_db_lo
+      else Prob.Rng.float_range rng ~lo:power_db_lo ~hi:power_db_hi
+    in
+    let g_ab = gain (dist a b) in
+    let candidates =
+      Array.mapi
+        (fun r pos ->
+          { Bidir.Relay_selection.relay_id = relay_ids.(r);
+            gains =
+              Channel.Gains.make ~g_ab ~g_ar:(gain (dist a pos))
+                ~g_br:(gain (dist b pos));
+          })
+        relay_pos
+    in
+    { pair_id = Printf.sprintf "p%04d" k;
+      power = Numerics.Float_utils.db_to_lin power_db;
+      candidates;
+    }
+  in
+  { relay_ids; pairs = Array.init pairs one_pair }
+
+let num_pairs t = Array.length t.pairs
+let num_relays t = Array.length t.relay_ids
+
+let restrict_relays t ~keep =
+  if keep < 1 || keep > num_relays t then
+    invalid_arg "Network.Scenario.restrict_relays: keep out of range";
+  { relay_ids = Array.sub t.relay_ids 0 keep;
+    pairs =
+      Array.map
+        (fun p -> { p with candidates = Array.sub p.candidates 0 keep })
+        t.pairs;
+  }
+
+let scale_power t ~factor =
+  if not (factor > 0.) then
+    invalid_arg "Network.Scenario.scale_power: factor must be > 0";
+  { t with
+    pairs = Array.map (fun p -> { p with power = p.power *. factor }) t.pairs;
+  }

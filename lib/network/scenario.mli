@@ -1,0 +1,55 @@
+(** K-pair, R-relay network scenarios.
+
+    The paper's sequels (arXiv:0810.1268, arXiv:1002.0123) extend the
+    single-pair, single-relay model to multiple relays and multi-pair
+    bi-directional relay networks. A scenario here is the data those
+    generalisations need and nothing more: [K] terminal pairs, each with
+    its own per-node transmit power, and for every pair the channel
+    gains of the three links through each of [R] shared candidate
+    relays. Every (pair, relay) combination is a complete single-pair
+    instance of the seed theory — {!Bidir.Relay_selection.candidate} —
+    so Theorems 2–6 apply per combination unchanged; what is new at the
+    network layer is deciding who uses which relay for which fraction
+    of the airtime (see {!Assign}). *)
+
+type pair = {
+  pair_id : string;
+  power : float;  (** per-node, per-phase transmit power (linear) *)
+  candidates : Bidir.Relay_selection.candidate array;
+      (** one entry per relay, in the scenario's relay order: the gains
+          of the a-b / a-r / b-r links when this pair relays through
+          that candidate *)
+}
+
+type t = {
+  relay_ids : string array;  (** shared relay identities, fixed order *)
+  pairs : pair array;
+}
+
+val make : relay_ids:string array -> pairs:pair list -> t
+(** Validates: at least one relay and one pair, positive powers, and
+    every pair carrying exactly one candidate per relay with matching
+    [relay_id]s (in order). Raises [Invalid_argument] otherwise. *)
+
+val random :
+  ?exponent:float -> ?power_db_lo:float -> ?power_db_hi:float ->
+  pairs:int -> relays:int -> seed:int -> unit -> t
+(** A deterministic random topology: [pairs] terminal pairs and
+    [relays] relay nodes placed uniformly in the unit square (positions
+    and powers all drawn from one splitmix64 stream seeded with
+    [seed]), link gains following the power law [d^-exponent]
+    (default 3, distances clamped below at 0.05 so gains stay finite),
+    and per-pair powers uniform in [[power_db_lo, power_db_hi]]
+    (default [[5, 15]] dB). Equal arguments give byte-identical
+    scenarios. *)
+
+val num_pairs : t -> int
+val num_relays : t -> int
+
+val restrict_relays : t -> keep:int -> t
+(** The same scenario with only the first [keep] relays available
+    (1 <= keep <= num_relays) — the monotonicity property tests compare
+    assignments across nested relay sets. *)
+
+val scale_power : t -> factor:float -> t
+(** Every pair's power multiplied by [factor] (> 0). *)

@@ -122,7 +122,9 @@ let time_metric name =
    distributions are informational only — the budget counter already
    gates the totals, and any pivot-path improvement would reshape the
    distribution without regressing anything. *)
-let budget_counters = [ "linprog.pivots"; "linprog.refactor_eliminations" ]
+let budget_counters =
+  [ "linprog.pivots"; "linprog.refactor_eliminations";
+    "network.assignment_pivots" ]
 
 let budget_histograms =
   [ "linprog.pivots_per_solve"; "linprog.pivots_per_warm_solve" ]

@@ -71,8 +71,9 @@ type rule =
 type policy = kind:[ `Counter | `Histogram ] -> string -> rule
 
 val default_policy : ?tolerance:float -> unit -> policy
-(** Counters are [Exact], except the work budgets [linprog.pivots] and
-    [linprog.refactor_eliminations] which are [Budget] (a pivot-count
+(** Counters are [Exact], except the work budgets [linprog.pivots],
+    [linprog.refactor_eliminations] and [network.assignment_pivots]
+    which are [Budget] (a pivot-count
     regression fails the gate; an improvement passes without a baseline
     refresh). Histograms whose name ends in [_seconds] / [.seconds] or
     starts with [phase.] get [Time_band tolerance] (default 0.5, i.e.

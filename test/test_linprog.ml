@@ -453,6 +453,71 @@ let prop_solver_rebuild_matches_fresh =
            (Linprog.Solver.feasible solver)
            (Linprog.Simplex.feasible ~nvars:2 ~constrs:constrs2))
 
+(* ------------------------------------------------------------------ *)
+(* Solver stress: basis carry across a long structurally-similar sweep *)
+(* ------------------------------------------------------------------ *)
+
+(* One solver instance carried across 120 LPs that share a structural
+   shape (same variable count, row count and relations, perturbed
+   coefficients) — the pattern the rate-table sweeps produce. Every
+   warm outcome must match a fresh cold [Simplex.maximize] to 1e-9 and
+   the whole warm sweep must stay within the cold pivot budget (the
+   point of carrying the basis). *)
+let test_solver_stress_basis_carry () =
+  let nvars = 6 and nrows = 8 and systems = 120 in
+  let rng = Prob.Rng.create ~seed:2024 in
+  let fresh_system () =
+    List.init nrows (fun _ ->
+        let coeffs =
+          Array.init nvars (fun _ -> Prob.Rng.float_range rng ~lo:0.1 ~hi:2.)
+        in
+        c_ coeffs le (Prob.Rng.float_range rng ~lo:1. ~hi:5.))
+  in
+  let objective () =
+    Array.init nvars (fun _ -> Prob.Rng.float_range rng ~lo:0.1 ~hi:1.)
+  in
+  let instances =
+    List.init systems (fun _ ->
+        let constrs = fresh_system () in
+        (constrs, objective ()))
+  in
+  let pivots = Telemetry.Metrics.counter "linprog.pivots" in
+  let measure f =
+    let before = Telemetry.Metrics.value pivots in
+    let r = f () in
+    (r, Telemetry.Metrics.value pivots - before)
+  in
+  let cold_objs, cold_pivots =
+    measure (fun () ->
+        List.map
+          (fun (constrs, c) ->
+            (expect_optimal (solve_max c constrs)).Linprog.Simplex.objective)
+          instances)
+  in
+  let warm_objs, warm_pivots =
+    measure (fun () ->
+        let solver =
+          Linprog.Solver.create ~nvars ~constrs:(fst (List.hd instances))
+        in
+        List.map
+          (fun (constrs, c) ->
+            Linprog.Solver.rebuild solver ~constrs;
+            (expect_optimal (Linprog.Solver.reoptimize solver ~c))
+              .Linprog.Simplex.objective)
+          instances)
+  in
+  List.iteri
+    (fun i (cold, warm) ->
+      let tol = 1e-9 *. Float.max 1. (Float.abs cold) in
+      if Float.abs (cold -. warm) > tol then
+        Alcotest.failf "system %d: cold %.12g vs warm %.12g" i cold warm)
+    (List.combine cold_objs warm_objs);
+  Alcotest.(check bool)
+    (Printf.sprintf "warm sweep pivots (%d) within cold budget (%d)"
+       warm_pivots cold_pivots)
+    true
+    (warm_pivots <= cold_pivots)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_simplex_matches_brute_force;
@@ -487,6 +552,10 @@ let suites =
         Alcotest.test_case "repeated terms" `Quick test_model_repeated_terms;
         Alcotest.test_case "infeasible" `Quick test_model_infeasible;
         Alcotest.test_case "solve min" `Quick test_model_solve_min;
+      ] );
+    ( "linprog.solver",
+      [ Alcotest.test_case "120-system basis-carry stress" `Quick
+          test_solver_stress_basis_carry;
       ] );
     ("linprog.properties", qcheck_cases);
   ]
