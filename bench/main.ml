@@ -241,6 +241,10 @@ let lp_comparison () =
   in
   let pivots = Telemetry.Metrics.counter "linprog.pivots" in
   let solves = Telemetry.Metrics.counter "linprog.solves" in
+  let alloc = Telemetry.Metrics.counter "linprog.alloc_bytes" in
+  (* allocation accounting on for this section only, so the cold/warm
+     allocations-per-solve baseline lands in BENCH_engine.json *)
+  Telemetry.Resource.with_enabled true @@ fun () ->
   let measure solve_all =
     Telemetry.Metrics.reset ();
     let lp_seconds = Telemetry.Metrics.histogram "lp.solve_seconds" in
@@ -253,15 +257,18 @@ let lp_comparison () =
     ( outcomes,
       ( Telemetry.Metrics.value pivots,
         Telemetry.Metrics.value solves,
+        Telemetry.Metrics.value alloc,
         dt, p50, p99 ) )
   in
-  let cold_outcomes, (cold_pivots, cold_solves, cold_dt, cold_p50, cold_p99) =
+  let cold_outcomes,
+      (cold_pivots, cold_solves, cold_alloc, cold_dt, cold_p50, cold_p99) =
     measure (fun timed ->
         List.map
           (fun c -> timed (fun () -> Linprog.Simplex.maximize ~c ~constrs))
           objectives)
   in
-  let warm_outcomes, (warm_pivots, warm_solves, warm_dt, warm_p50, warm_p99) =
+  let warm_outcomes,
+      (warm_pivots, warm_solves, warm_alloc, warm_dt, warm_p50, warm_p99) =
     measure (fun timed ->
         let solver = Linprog.Solver.create ~nvars ~constrs in
         List.map
@@ -278,25 +285,30 @@ let lp_comparison () =
         | _ -> false)
       cold_outcomes warm_outcomes
   in
-  let describe label (piv, slv, dt, p50, p99) =
+  let per_solve alc slv =
+    if slv = 0 then 0. else float_of_int alc /. float_of_int slv
+  in
+  let describe label (piv, slv, alc, dt, p50, p99) =
     Printf.printf
       "%-28s %6d pivots / %3d solves  %7.2f ms  (p50=%.3gs p99=%.3gs per \
-       solve)\n"
-      label piv slv (1000. *. dt) p50 p99
+       solve, %.0f alloc B/solve)\n"
+      label piv slv (1000. *. dt) p50 p99 (per_solve alc slv)
   in
   describe "cold (Simplex.maximize):"
-    (cold_pivots, cold_solves, cold_dt, cold_p50, cold_p99);
+    (cold_pivots, cold_solves, cold_alloc, cold_dt, cold_p50, cold_p99);
   describe "warm (Solver.reoptimize):"
-    (warm_pivots, warm_solves, warm_dt, warm_p50, warm_p99);
+    (warm_pivots, warm_solves, warm_alloc, warm_dt, warm_p50, warm_p99);
   let pivot_reduction =
     float_of_int cold_pivots /. float_of_int (max warm_pivots 1)
   in
   Printf.printf "pivot reduction: %.1fx; objectives agree to 1e-9: %b\n"
     pivot_reduction objectives_equal;
-  let variant (piv, slv, dt, p50, p99) =
+  let variant (piv, slv, alc, dt, p50, p99) =
     Telemetry.Json.Obj
       [ ("pivots", Telemetry.Json.Int piv);
         ("solves", Telemetry.Json.Int slv);
+        ("alloc_bytes", Telemetry.Json.Int alc);
+        ("alloc_bytes_per_solve", Telemetry.Json.Float (per_solve alc slv));
         ("seconds", Telemetry.Json.Float dt);
         ("solve_seconds_p50", Telemetry.Json.Float p50);
         ("solve_seconds_p99", Telemetry.Json.Float p99);
@@ -304,9 +316,17 @@ let lp_comparison () =
   in
   Telemetry.Json.Obj
     [ ("weights", Telemetry.Json.Int weights);
-      ("cold", variant (cold_pivots, cold_solves, cold_dt, cold_p50, cold_p99));
-      ("warm", variant (warm_pivots, warm_solves, warm_dt, warm_p50, warm_p99));
+      ("cold",
+       variant
+         (cold_pivots, cold_solves, cold_alloc, cold_dt, cold_p50, cold_p99));
+      ("warm",
+       variant
+         (warm_pivots, warm_solves, warm_alloc, warm_dt, warm_p50, warm_p99));
       ("pivot_reduction", Telemetry.Json.Float pivot_reduction);
+      (* the headline allocations-per-solve number is the warm engine's:
+         that is the production path sweeps run on *)
+      ("alloc_bytes_per_solve",
+       Telemetry.Json.Float (per_solve warm_alloc warm_solves));
       ("objectives_equal", Telemetry.Json.Bool objectives_equal);
     ]
 
@@ -325,8 +345,10 @@ let campaign_comparison () =
   let run_with domains =
     (* both runs evaluate identical scenarios (same seed), so the LP
        memo must start cold each time or the second run times cache
-       lookups instead of work *)
+       lookups instead of work; the registry reset isolates each run's
+       pool-utilization histograms *)
     Engine.Memo.clear_all ();
+    Telemetry.Metrics.reset ();
     let t0 = Unix.gettimeofday () in
     let r =
       Campaign.Runner.run
@@ -339,6 +361,24 @@ let campaign_comparison () =
   in
   let rendered1, r1, t1 = run_with 1 in
   let rendered4, _, t4 = run_with 4 in
+  (* pool utilization of the 4-domain run (the registry was reset at
+     its start; the 1-domain run issues no parallel maps): where do the
+     4 x wall domain-seconds go, and how even are the chunks? *)
+  let busy =
+    Telemetry.Histogram.sum
+      (Telemetry.Metrics.histogram "engine.pool.busy_seconds")
+  in
+  let idle =
+    Telemetry.Histogram.sum
+      (Telemetry.Metrics.histogram "engine.pool.idle_seconds")
+  in
+  let pool_idle_fraction =
+    if busy +. idle <= 0. then 0. else idle /. (busy +. idle)
+  in
+  let chunk_imbalance =
+    Telemetry.Histogram.mean
+      (Telemetry.Metrics.histogram "engine.pool.chunk_imbalance")
+  in
   let byte_identical = String.equal rendered1 rendered4 in
   let speedup = t1 /. Float.max t4 1e-9 in
   let sum_rate = List.assoc "sum_rate" r1.Campaign.Runner.values in
@@ -354,6 +394,10 @@ let campaign_comparison () =
   let within_ci = campaign_lo <= analytic_hi && analytic_lo <= campaign_hi in
   Printf.printf "campaign, 1 domain: %7.1f ms; 4 domains: %7.1f ms (%.1fx)\n"
     (1000. *. t1) (1000. *. t4) speedup;
+  Printf.printf
+    "4-domain pool: %.1f ms busy / %.1f ms idle (idle fraction %.2f), mean \
+     chunk imbalance %.2f\n"
+    (1000. *. busy) (1000. *. idle) pool_idle_fraction chunk_imbalance;
   Printf.printf "results byte-identical across domain counts: %b\n"
     byte_identical;
   Printf.printf
@@ -366,6 +410,10 @@ let campaign_comparison () =
       ("seconds_1_domain", Telemetry.Json.Float t1);
       ("seconds_4_domains", Telemetry.Json.Float t4);
       ("campaign_speedup_4_domains", Telemetry.Json.Float speedup);
+      ("pool_busy_seconds_4_domains", Telemetry.Json.Float busy);
+      ("pool_idle_seconds_4_domains", Telemetry.Json.Float idle);
+      ("pool_idle_fraction", Telemetry.Json.Float pool_idle_fraction);
+      ("chunk_imbalance", Telemetry.Json.Float chunk_imbalance);
       ("campaign_byte_identical", Telemetry.Json.Bool byte_identical);
       ("mean_sum_rate", Telemetry.Json.Float sum_rate.Campaign.Runner.mean);
       ("ci95",
@@ -861,13 +909,22 @@ let append_trajectory ~(snapshot : Telemetry.Snapshot.t) ~comparison ~lp
           | Some v -> [ ("lp_" ^ key, v) ]
           | None -> [])
         [ "pivot_reduction"; "objectives_equal" ]
+      @
+      (* resource-attribution baselines for the kernel/campaign PRs,
+         unprefixed (the issue-facing key names) *)
+      List.concat_map
+        (fun key ->
+          match Telemetry.Json.member key lp with
+          | Some v -> [ (key, v) ]
+          | None -> [])
+        [ "alloc_bytes_per_solve" ]
       @ List.concat_map
           (fun key ->
             match Telemetry.Json.member key campaign with
             | Some v -> [ (key, v) ]
             | None -> [])
           [ "campaign_speedup_4_domains"; "campaign_byte_identical";
-            "campaign_within_ci" ]
+            "campaign_within_ci"; "pool_idle_fraction"; "chunk_imbalance" ]
       @ List.concat_map
           (fun key ->
             match Telemetry.Json.member key queue with

@@ -50,6 +50,7 @@ type engine_opts = {
   stats : bool;
   trace : string option;
   metrics : string option;
+  resource : bool;
 }
 
 let engine_args ?(default_domains = 1) () =
@@ -80,9 +81,18 @@ let engine_args ?(default_domains = 1) () =
              ~doc:"Write every telemetry counter and histogram \
                    (count/sum/p50/p90/p99) as JSON to $(docv) on exit.")
   in
-  Term.(const (fun domains stats trace metrics ->
-            { domains; stats; trace; metrics })
-        $ domains $ stats $ trace $ metrics)
+  let resource =
+    Arg.(value & flag
+         & info [ "resource" ]
+             ~doc:"Track GC/allocation attribution during the run: the \
+                   gc.* counters and linprog.alloc_bytes populate in \
+                   $(b,--metrics)/$(b,--stats), and spans recorded under \
+                   $(b,--trace) carry per-span GC deltas. Observation \
+                   only — results are unchanged.")
+  in
+  Term.(const (fun domains stats trace metrics resource ->
+            { domains; stats; trace; metrics; resource })
+        $ domains $ stats $ trace $ metrics $ resource)
 
 let write_file path content =
   let oc = open_out path in
@@ -98,6 +108,8 @@ let with_engine opts f =
   Engine.Pool.set_default_domains opts.domains;
   Engine.Stats.reset ();
   if opts.trace <> None then Telemetry.Span.start ();
+  if opts.resource then Telemetry.Resource.set_enabled true;
+  let f = if opts.resource then fun () -> Telemetry.Resource.account f else f in
   Fun.protect
     ~finally:(fun () ->
       (match opts.trace with
@@ -524,11 +536,33 @@ let profile_cmd =
              ~doc:"Workload to run under the profiler: $(b,figures) (a \
                    reduced figure pass plus a short event-driven \
                    simulation), $(b,sweep) (a power sweep of every \
-                   protocol), or $(b,netsim) (the event-driven simulator \
-                   alone).")
+                   protocol), $(b,netsim) (the event-driven simulator \
+                   alone), $(b,campaign) (a sharded Monte-Carlo ergodic \
+                   campaign fanned across the domain pool), or \
+                   $(b,network) (a multi-pair rate table plus LP and \
+                   greedy relay assignment).")
   in
-  let run engine workload =
+  let flame_arg =
+    Arg.(value & opt (some string) None
+         & info [ "flame" ] ~docv:"FILE"
+             ~doc:"Write a collapsed-stack flamegraph (span-path lines \
+                   weighted by self-time microseconds) to $(docv); \
+                   enables span collection even without $(b,--trace). \
+                   Render with flamegraph.pl or load into speedscope.")
+  in
+  let focus_arg =
+    Arg.(value & opt (some string) None
+         & info [ "focus" ] ~docv:"NAME"
+             ~doc:"Restrict the flamegraph and self-time report to \
+                   span paths containing $(docv), re-rooted at its \
+                   first occurrence.")
+  in
+  let run engine workload flame focus =
     with_engine engine @@ fun () ->
+    (* resource attribution is the point of profiling: always on here *)
+    Telemetry.Resource.set_enabled true;
+    if flame <> None && not (Telemetry.Span.enabled ()) then
+      Telemetry.Span.start ();
     let netsim blocks =
       ignore
         (Netsim.Detailed.run
@@ -536,38 +570,76 @@ let profile_cmd =
               ~power_db:10. ~gains:Channel.Gains.paper_fig4 ~blocks
               ~block_symbols:1_000 ()))
     in
-    (match workload with
-    | "figures" ->
-      (* touches every instrumented layer: pool fan-out, LP solves,
-         memo caches, figure spans, then the discrete-event loop *)
-      Engine.Stats.timed "profile:figures" (fun () ->
-          ignore (Bidir.Figures.fig3 ~samples:9 ());
-          ignore (Bidir.Figures.fig4 ~power_db:0. ());
-          ignore (Bidir.Figures.gap_table ()));
-      Engine.Stats.timed "profile:netsim" (fun () -> netsim 20)
-    | "sweep" ->
-      Engine.Stats.timed "profile:sweep" (fun () ->
-          Array.iter
-            (fun power_db ->
-              let s =
-                Bidir.Gaussian.scenario ~power_db
-                  ~gains:Channel.Gains.paper_fig4
+    Telemetry.Resource.account (fun () ->
+        match workload with
+        | "figures" ->
+          (* touches every instrumented layer: pool fan-out, LP solves,
+             memo caches, figure spans, then the discrete-event loop *)
+          Engine.Stats.timed "profile:figures" (fun () ->
+              ignore (Bidir.Figures.fig3 ~samples:9 ());
+              ignore (Bidir.Figures.fig4 ~power_db:0. ());
+              ignore (Bidir.Figures.gap_table ()));
+          Engine.Stats.timed "profile:netsim" (fun () -> netsim 20)
+        | "sweep" ->
+          Engine.Stats.timed "profile:sweep" (fun () ->
+              Array.iter
+                (fun power_db ->
+                  let s =
+                    Bidir.Gaussian.scenario ~power_db
+                      ~gains:Channel.Gains.paper_fig4
+                  in
+                  ignore (Bidir.Optimize.all_sum_rates Bidir.Bound.Inner s))
+                (Numerics.Float_utils.linspace (-10.) 25. 36))
+        | "netsim" ->
+          Engine.Stats.timed "profile:netsim" (fun () -> netsim 200)
+        | "campaign" ->
+          (* exercises the pool utilization accounting: batches of
+             replications fan across [--domains] domains, so
+             engine.pool.busy/idle_seconds and
+             campaign.pool_idle_seconds populate *)
+          Engine.Stats.timed "profile:campaign" (fun () ->
+              ignore
+                (Campaign.Runner.run
+                   (Campaign.Runner.default_config ~seed:11
+                      ~domains:engine.domains ~batch:12 ~replications:48 ())
+                   (Campaign.Workloads.ergodic ~blocks_per_rep:60 ())
+                  : Campaign.Runner.result))
+        | "network" ->
+          Engine.Stats.timed "profile:network" (fun () ->
+              let scenario =
+                Network.Scenario.random ~pairs:48 ~relays:3 ~seed:19 ()
               in
-              ignore (Bidir.Optimize.all_sum_rates Bidir.Bound.Inner s))
-            (Numerics.Float_utils.linspace (-10.) 25. 36))
-    | "netsim" ->
-      Engine.Stats.timed "profile:netsim" (fun () -> netsim 200)
-    | other ->
-      Printf.eprintf "unknown workload %S (figures|sweep|netsim)\n" other;
-      exit 2);
+              let table = Network.Assign.rate_table scenario in
+              ignore
+                (Network.Assign.solve_table Network.Assign.Lp table
+                  : Network.Assign.solution);
+              ignore
+                (Network.Assign.solve_table Network.Assign.Greedy table
+                  : Network.Assign.solution))
+        | other ->
+          Printf.eprintf
+            "unknown workload %S (figures|sweep|netsim|campaign|network)\n"
+            other;
+          exit 2);
+    if Telemetry.Span.enabled () then begin
+      let t = Telemetry.Analyze.analyze (Telemetry.Span.events ()) in
+      (match flame with
+      | Some path ->
+        write_file path (Telemetry.Analyze.collapsed ?focus t);
+        Printf.eprintf "flame: wrote %s\n" path
+      | None -> ());
+      print_string (Telemetry.Analyze.report ?focus ~top:10 t)
+    end;
     print_string (Telemetry.Metrics.to_text ())
   in
   let doc =
     "Run an instrumented workload and report telemetry (counters, \
-     histogram percentiles; optionally a Chrome trace)."
+     histogram percentiles, GC/allocation attribution, a self-time \
+     table; optionally a Chrome trace and a collapsed-stack flamegraph)."
   in
   Cmd.v (Cmd.info "profile" ~doc)
-    Term.(const run $ engine_args ~default_domains:2 () $ workload_arg)
+    Term.(const run $ engine_args ~default_domains:2 () $ workload_arg
+          $ flame_arg $ focus_arg)
 
 (* ------------------------------------------------------------------ *)
 (* campaign                                                            *)
@@ -832,6 +904,12 @@ let check_workload () =
   Engine.Pool.set_default_domains 1;
   Engine.Memo.clear_all ();
   Telemetry.Metrics.reset ();
+  (* resource tracking on: linprog.alloc_bytes is deterministic for
+     this single-domain workload, so the allocation budget gates
+     one-sided exactly like the pivot budget (the noisy gc.* process
+     totals are Ignored by the policy) *)
+  Telemetry.Resource.set_enabled true;
+  Telemetry.Resource.account @@ fun () ->
   Engine.Stats.timed "check:figures" (fun () ->
       ignore (Bidir.Figures.fig3 ~samples:9 () : Bidir.Figures.figure);
       ignore (Bidir.Figures.fig4 ~power_db:0. () : Bidir.Figures.figure);
@@ -944,13 +1022,15 @@ let check_cmd =
           diffs it against the baseline snapshot in $(b,--against).";
       `P "Deterministic counters (LP solves, memo hits/misses, simulator \
           events) and value histograms must match exactly — drift there \
-          is a correctness signal. Work budgets (linprog.pivots, \
-          linprog.refactor_eliminations) gate one-sided: staying at or \
-          under the baseline passes, so a pivot-count improvement needs \
-          no baseline refresh, while a pivot regression fails the gate. \
-          Wall-time histograms (lp.solve_seconds, phase.*) only need an \
-          identical sample count and a mean within $(b,--tolerance) \
-          percent.";
+          is a correctness signal. Resource budgets (linprog.pivots, \
+          linprog.refactor_eliminations, network.assignment_pivots, \
+          linprog.alloc_bytes, and the campaign.pool_idle_seconds \
+          histogram) gate one-sided: staying at or under the baseline \
+          passes, so an improvement needs no baseline refresh, while a \
+          regression fails the gate. Wall-time histograms \
+          (lp.solve_seconds, phase.*, engine.pool.*_seconds) only need \
+          an identical sample count and a mean within $(b,--tolerance) \
+          percent; the gc.* process totals are ignored.";
       `P "Exits 0 when the diff has no violations, 1 on regression, 2 on \
           usage or IO errors.";
     ]

@@ -282,9 +282,16 @@ let run (cfg : config) (w : workload) =
   validate cfg;
   let replications_counter = Telemetry.Metrics.counter "campaign.replications" in
   let shard_seconds = Telemetry.Metrics.histogram "campaign.shard_seconds" in
+  (* domain-seconds the pool sat idle during this campaign's batch maps
+     (fan-out overhead, queue latency, uneven shards) — the number that
+     explains a sub-linear --domains speedup. Budget-gated one-sided by
+     `bidir check`; empty on sequential (domains = 1) runs. *)
+  let pool_idle = Telemetry.Metrics.histogram "campaign.pool_idle_seconds" in
   Telemetry.Span.with_span ~cat:"campaign"
     ~args:[ ("workload", Telemetry.Json.String w.name) ]
     "campaign.run"
+  @@ fun () ->
+  Engine.Pool.with_idle_sink pool_idle
   @@ fun () ->
   let st =
     match (cfg.resume, cfg.checkpoint) with

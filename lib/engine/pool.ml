@@ -66,6 +66,31 @@ let ensure_workers n =
    only, so an empty histogram means every map ran sequentially. *)
 let chunk_seconds = Telemetry.Metrics.histogram "engine.pool.chunk_seconds"
 
+(* Utilization accounting, one observation per parallel map: [busy] is
+   the summed chunk execution time, [idle] is [d * wall - busy] — the
+   domain-seconds lost to fan-out, queue latency and uneven chunks.
+   [queue_wait] is per queued chunk (enqueue to start; the caller's
+   chunk 0 never queues). [chunk_imbalance] is max/mean chunk time in
+   [1, d]: 1.0 = perfectly even split, d = one chunk did everything. *)
+let busy_seconds = Telemetry.Metrics.histogram "engine.pool.busy_seconds"
+let idle_seconds = Telemetry.Metrics.histogram "engine.pool.idle_seconds"
+let queue_wait_seconds = Telemetry.Metrics.histogram "engine.pool.queue_wait_seconds"
+let chunk_imbalance =
+  Telemetry.Metrics.histogram ~lo:1. ~growth:1.02 ~buckets:256
+    "engine.pool.chunk_imbalance"
+
+(* Layers that own a batch of maps (the campaign runner) can claim the
+   idle seconds of every parallel map issued in their dynamic extent by
+   installing a sink histogram; attribution is domain-local so
+   concurrent unrelated maps don't cross-contaminate. *)
+let idle_sink : Telemetry.Histogram.t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let with_idle_sink h f =
+  let old = Domain.DLS.get idle_sink in
+  Domain.DLS.set idle_sink (Some h);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set idle_sink old) f
+
 let map_array ?domains f items =
   let n = Array.length items in
   let d =
@@ -88,27 +113,42 @@ let map_array ?domains f items =
        tasks report this map's enclosing span as their logical parent,
        whichever domain they run on *)
     let span_ctx = Telemetry.Span.context () in
+    let t_fan = Unix.gettimeofday () in
     ensure_workers (d - 1);
     let results = Array.make n None in
     let first_error = Atomic.make None in
     let remaining = Atomic.make d in
     let done_lock = Mutex.create () in
     let done_cond = Condition.create () in
+    (* per-chunk wall time; slot k is written only by the domain running
+       chunk k, and all writes happen-before the caller's accounting
+       (chunk completion is published through [remaining]) *)
+    let chunk_durs = Array.make d 0. in
+    let t_enq = ref t_fan in
     let run_chunk k =
+      let t_start = Unix.gettimeofday () in
+      if k > 0 then
+        Telemetry.Metrics.observe queue_wait_seconds
+          (Float.max 0. (t_start -. !t_enq));
       (try
          (* chunk k owns indices [k*n/d, (k+1)*n/d) *)
          let body () =
-           Telemetry.Metrics.time chunk_seconds (fun () ->
-               Telemetry.Span.with_span ~cat:"pool" "pool.chunk"
-                 ~args:[ ("chunk", Telemetry.Json.Int k) ]
-                 (fun () ->
-                   for i = k * n / d to ((k + 1) * n / d) - 1 do
-                     results.(i) <- Some (f items.(i))
-                   done))
+           Telemetry.Span.with_span ~cat:"pool" "pool.chunk"
+             ~args:[ ("chunk", Telemetry.Json.Int k) ]
+             (fun () ->
+               for i = k * n / d to ((k + 1) * n / d) - 1 do
+                 results.(i) <- Some (f items.(i))
+               done)
          in
-         if Telemetry.Span.enabled () then
-           Telemetry.Span.with_context span_ctx body
-         else body ()
+         Fun.protect
+           ~finally:(fun () ->
+             let dt = Unix.gettimeofday () -. t_start in
+             Telemetry.Metrics.observe chunk_seconds dt;
+             chunk_durs.(k) <- dt)
+           (fun () ->
+             if Telemetry.Span.enabled () then
+               Telemetry.Span.with_context span_ctx body
+             else body ())
        with e -> ignore (Atomic.compare_and_set first_error None (Some e)));
       if Atomic.fetch_and_add remaining (-1) = 1 then begin
         Mutex.lock done_lock;
@@ -116,6 +156,7 @@ let map_array ?domains f items =
         Mutex.unlock done_lock
       end
     in
+    t_enq := Unix.gettimeofday ();
     Mutex.lock pool_lock;
     for k = 1 to d - 1 do
       Queue.add (fun () -> run_chunk k) pending
@@ -149,6 +190,18 @@ let map_array ?domains f items =
     in
     drain ();
     Domain.DLS.set in_worker false;
+    let wall = Unix.gettimeofday () -. t_fan in
+    let busy = Array.fold_left ( +. ) 0. chunk_durs in
+    let idle = Float.max 0. ((float_of_int d *. wall) -. busy) in
+    Telemetry.Metrics.observe busy_seconds busy;
+    Telemetry.Metrics.observe idle_seconds idle;
+    if busy > 0. then begin
+      let mx = Array.fold_left Float.max 0. chunk_durs in
+      Telemetry.Metrics.observe chunk_imbalance (mx *. float_of_int d /. busy)
+    end;
+    (match Domain.DLS.get idle_sink with
+     | Some h -> Telemetry.Histogram.observe h idle
+     | None -> ());
     (match Atomic.get first_error with Some e -> raise e | None -> ());
     Array.map (function Some v -> v | None -> assert false) results
   end

@@ -20,7 +20,16 @@
     [pool.chunk] span and its duration in the
     [engine.pool.chunk_seconds] histogram. The caller's span context is
     captured before fan-out and installed in each chunk, so spans
-    opened inside tasks keep their logical parent across domains. *)
+    opened inside tasks keep their logical parent across domains.
+
+    Utilization accounting (parallel maps only, one observation per
+    map): [engine.pool.busy_seconds] is the summed chunk execution
+    time, [engine.pool.idle_seconds] is [domains * wall - busy] (the
+    domain-seconds lost to fan-out, queue latency and uneven chunks),
+    [engine.pool.queue_wait_seconds] records enqueue-to-start latency
+    per queued chunk, and [engine.pool.chunk_imbalance] the map's
+    max/mean chunk-time ratio in [1, domains]. All of it is
+    observation-only — results stay byte-identical. *)
 
 val set_default_domains : int -> unit
 (** Set the domain count used when [?domains] is omitted. Raises
@@ -35,3 +44,11 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
     re-raised after all domains are joined. *)
 
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val with_idle_sink : Telemetry.Histogram.t -> (unit -> 'a) -> 'a
+(** [with_idle_sink h f] runs [f]; every parallel map issued on this
+    domain within [f]'s dynamic extent additionally observes its idle
+    domain-seconds into [h] (on top of [engine.pool.idle_seconds]).
+    Domain-local and re-entrant — the previous sink is restored on
+    exit, also on exceptions. Lets a batch owner (e.g. the campaign
+    runner) claim the pool idle time it caused. *)

@@ -19,6 +19,9 @@ type snapshot = {
   cache_hits : int;
   cache_misses : int;
   pool_tasks : int;
+  gc_minor_words : int;
+  gc_major_collections : int;
+  lp_alloc_bytes : int;
   phases : (string * float) list;
   summaries : histogram_line list;
 }
@@ -34,6 +37,12 @@ let pool_tasks = Telemetry.Metrics.counter "engine.pool_tasks"
 let lp_pivots = Telemetry.Metrics.counter "linprog.pivots"
 let lp_warm_solves = Telemetry.Metrics.counter "linprog.warm_solves"
 let lp_phase1_skipped = Telemetry.Metrics.counter "linprog.phase1_skipped"
+
+(* Owned by Telemetry.Resource / the LP layer; populated only while
+   resource tracking is enabled (--resource, profile, check). *)
+let gc_minor_words = Telemetry.Metrics.counter "gc.minor_words"
+let gc_major_collections = Telemetry.Metrics.counter "gc.major_collections"
+let lp_alloc_bytes = Telemetry.Metrics.counter "linprog.alloc_bytes"
 
 let record_lp_solve () = Telemetry.Metrics.incr lp_solves
 let record_hit () = Telemetry.Metrics.incr cache_hits
@@ -89,6 +98,9 @@ let snapshot () =
     cache_hits = Telemetry.Metrics.value cache_hits;
     cache_misses = Telemetry.Metrics.value cache_misses;
     pool_tasks = Telemetry.Metrics.value pool_tasks;
+    gc_minor_words = Telemetry.Metrics.value gc_minor_words;
+    gc_major_collections = Telemetry.Metrics.value gc_major_collections;
+    lp_alloc_bytes = Telemetry.Metrics.value lp_alloc_bytes;
     phases;
     summaries;
   }
@@ -111,6 +123,17 @@ let to_string s =
     Printf.bprintf b
       "  linprog: %d pivots total, %d warm solves, %d phase-1 skips\n"
       s.lp_pivots s.lp_warm_solves s.lp_phase1_skipped;
+  if s.gc_minor_words > 0 || s.lp_alloc_bytes > 0 then begin
+    Printf.bprintf b
+      "  resource: %d minor words, %d major collections"
+      s.gc_minor_words s.gc_major_collections;
+    if s.lp_alloc_bytes > 0 && s.lp_solves > 0 then
+      Printf.bprintf b ", %d LP alloc bytes (%.0f/solve)" s.lp_alloc_bytes
+        (float_of_int s.lp_alloc_bytes /. float_of_int s.lp_solves)
+    else if s.lp_alloc_bytes > 0 then
+      Printf.bprintf b ", %d LP alloc bytes" s.lp_alloc_bytes;
+    Buffer.add_char b '\n'
+  end;
   List.iter
     (fun (label, t) ->
       Printf.bprintf b "  phase %-28s %8.1f ms\n" label (1000. *. t))

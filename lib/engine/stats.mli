@@ -30,6 +30,13 @@ type snapshot = {
   cache_hits : int;      (** memo lookups answered without solving *)
   cache_misses : int;    (** memo lookups that had to compute *)
   pool_tasks : int;      (** items dispatched through parallel pool maps *)
+  gc_minor_words : int;
+      (** minor-heap words allocated while resource tracking was on *)
+  gc_major_collections : int;
+      (** major GC cycles completed while resource tracking was on *)
+  lp_alloc_bytes : int;
+      (** bytes allocated inside LP entry points (resource tracking on);
+          divided by [lp_solves] this is the per-solve footprint *)
   phases : (string * float) list;
       (** accumulated wall-clock seconds per phase label, sorted by label *)
   summaries : histogram_line list;

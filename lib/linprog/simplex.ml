@@ -33,6 +33,11 @@ let pivots_per_solve =
   Telemetry.Metrics.histogram ~lo:1. ~growth:2. ~buckets:24
     "linprog.pivots_per_solve"
 
+(* Bytes allocated inside LP solves while Telemetry.Resource is
+   enabled (shared with the warm-start Solver's entry points);
+   [linprog.alloc_bytes / linprog.solves] is allocations per solve. *)
+let alloc_bytes_counter = Telemetry.Metrics.counter "linprog.alloc_bytes"
+
 let record_solve t =
   Telemetry.Metrics.incr solves_counter;
   Telemetry.Metrics.add pivots_counter t.pivots;
@@ -220,7 +225,7 @@ let build_tableau ~nvars ~constrs =
   in
   (t, first_artificial)
 
-let maximize ~c ~constrs =
+let maximize_impl ~c ~constrs =
   let nvars = Array.length c in
   let t, first_artificial = build_tableau ~nvars ~constrs in
   (* phase 1: maximise -(sum of artificials) *)
@@ -254,6 +259,19 @@ let maximize ~c ~constrs =
     in
     record_solve t;
     outcome
+  end
+
+(* Allocation-accounting wrapper; the disabled path is the plain call —
+   one atomic load, no closure. *)
+let maximize ~c ~constrs =
+  if not (Telemetry.Resource.enabled ()) then maximize_impl ~c ~constrs
+  else begin
+    let b0 = Gc.allocated_bytes () in
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.Metrics.add alloc_bytes_counter
+          (int_of_float (Float.max 0. (Gc.allocated_bytes () -. b0))))
+      (fun () -> maximize_impl ~c ~constrs)
   end
 
 let minimize ~c ~constrs =

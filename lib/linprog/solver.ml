@@ -54,6 +54,15 @@ let pivots_per_warm_solve =
 
 let refactor_counter = Telemetry.Metrics.counter "linprog.refactor_eliminations"
 
+(* Bytes allocated inside LP entry points while Telemetry.Resource is
+   enabled; [linprog.alloc_bytes / linprog.solves] is the per-solve
+   allocation footprint. Shared with Simplex.maximize. *)
+let alloc_bytes_counter = Telemetry.Metrics.counter "linprog.alloc_bytes"
+
+let record_alloc b0 =
+  Telemetry.Metrics.add alloc_bytes_counter
+    (int_of_float (Float.max 0. (Gc.allocated_bytes () -. b0)))
+
 type status = Sat | Unsat
 
 type t = {
@@ -315,7 +324,7 @@ let phase1 t =
 (* Construction and in-place rebuild                                   *)
 (* ------------------------------------------------------------------ *)
 
-let create ~nvars ~constrs =
+let create_impl ~nvars ~constrs =
   if nvars <= 0 then invalid_arg "Linprog.Solver.create: nvars <= 0";
   let normalised = normalise nvars constrs in
   let m, first_artificial, ncols = layout nvars normalised in
@@ -382,7 +391,7 @@ let refactor_basis t =
   done;
   !ok
 
-let rebuild t ~constrs =
+let rebuild_impl t ~constrs =
   let normalised = normalise t.nvars constrs in
   let m, first_artificial, ncols = layout t.nvars normalised in
   let same_shape =
@@ -465,7 +474,7 @@ let record_solve t =
    so downstream rendering never prints "-0". *)
 let clean v = if v = 0. then 0. else v
 
-let reoptimize t ~c =
+let reoptimize_impl t ~c =
   if Array.length c <> t.nvars then
     invalid_arg "Linprog.Solver.reoptimize: objective arity mismatch";
   match t.status with
@@ -488,6 +497,35 @@ let reoptimize t ~c =
       let objective = clean (objective_value t t.cost) in
       record_solve t;
       Simplex.Optimal { Simplex.x; objective })
+
+(* Allocation-accounting wrappers around the entry points. The
+   disabled path is the plain call — one atomic load, no closure. *)
+let create ~nvars ~constrs =
+  if not (Telemetry.Resource.enabled ()) then create_impl ~nvars ~constrs
+  else begin
+    let b0 = Gc.allocated_bytes () in
+    Fun.protect
+      ~finally:(fun () -> record_alloc b0)
+      (fun () -> create_impl ~nvars ~constrs)
+  end
+
+let rebuild t ~constrs =
+  if not (Telemetry.Resource.enabled ()) then rebuild_impl t ~constrs
+  else begin
+    let b0 = Gc.allocated_bytes () in
+    Fun.protect
+      ~finally:(fun () -> record_alloc b0)
+      (fun () -> rebuild_impl t ~constrs)
+  end
+
+let reoptimize t ~c =
+  if not (Telemetry.Resource.enabled ()) then reoptimize_impl t ~c
+  else begin
+    let b0 = Gc.allocated_bytes () in
+    Fun.protect
+      ~finally:(fun () -> record_alloc b0)
+      (fun () -> reoptimize_impl t ~c)
+  end
 
 let solve_many t cs = List.map (fun c -> reoptimize t ~c) cs
 

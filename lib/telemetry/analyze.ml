@@ -1,0 +1,190 @@
+(* Post-hoc analysis of a recorded span buffer: reconstruct the
+   instance tree, attribute self time (own duration minus enclosed
+   child durations) and export flamegraph collapsed stacks.
+
+   Events only name their parent *span* — several instances of that
+   span may exist, so the concrete parent instance is recovered by
+   interval containment: among the events carrying the parent's name
+   whose [ts, ts+dur] interval encloses the child's, pick the
+   innermost (latest start, then shortest duration, then same
+   domain). A small slack absorbs clock granularity: a child's
+   recorded interval can poke past its parent's by the cost of the
+   two timestamp reads. *)
+
+type node = {
+  event : Span.event;
+  path : string list;  (* root-first chain of span names, incl. own *)
+  self : float;        (* seconds; >= 0 *)
+}
+
+type t = {
+  nodes : node list;        (* in Span.events order *)
+  root_dur : float;         (* summed duration of root instances *)
+  total_self : float;       (* summed self time of all instances *)
+}
+
+let slack = 5e-6
+
+let contains (p : Span.event) (e : Span.event) =
+  p.Span.ts -. slack <= e.Span.ts
+  && e.Span.ts +. e.Span.dur <= p.Span.ts +. p.Span.dur +. slack
+
+let analyze events =
+  let evs = Array.of_list events in
+  let n = Array.length evs in
+  let by_name : (string, int list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (e : Span.event) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_name e.Span.name) in
+      Hashtbl.replace by_name e.Span.name (i :: prev))
+    evs;
+  let parent_idx =
+    Array.mapi
+      (fun i (e : Span.event) ->
+        if e.Span.parent = "" then -1
+        else begin
+          let best = ref (-1) in
+          List.iter
+            (fun j ->
+              if j <> i then begin
+                let p = evs.(j) in
+                if contains p e then begin
+                  match !best with
+                  | -1 -> best := j
+                  | b ->
+                    let q = evs.(b) in
+                    let better =
+                      p.Span.ts > q.Span.ts +. slack
+                      || (Float.abs (p.Span.ts -. q.Span.ts) <= slack
+                          && (p.Span.dur < q.Span.dur
+                              || (p.Span.dur = q.Span.dur
+                                  && p.Span.tid = e.Span.tid
+                                  && q.Span.tid <> e.Span.tid)))
+                    in
+                    if better then best := j
+                end
+              end)
+            (Option.value ~default:[]
+               (Hashtbl.find_opt by_name e.Span.parent));
+          !best
+        end)
+      evs
+  in
+  (* Root-first name path per instance, memoised. A cycle can only
+     arise from identical intervals mutually claiming each other; the
+     depth budget breaks it by rooting the chain. *)
+  let paths = Array.make n [] in
+  let done_ = Array.make n false in
+  let rec path depth i =
+    if done_.(i) then paths.(i)
+    else begin
+      let p =
+        if parent_idx.(i) < 0 || depth > n then [ evs.(i).Span.name ]
+        else path (depth + 1) parent_idx.(i) @ [ evs.(i).Span.name ]
+      in
+      paths.(i) <- p;
+      done_.(i) <- true;
+      p
+    end
+  in
+  let children_dur = Array.make n 0. in
+  Array.iteri
+    (fun i _ ->
+      let p = parent_idx.(i) in
+      if p >= 0 then children_dur.(p) <- children_dur.(p) +. evs.(i).Span.dur)
+    evs;
+  let nodes =
+    List.init n (fun i ->
+        { event = evs.(i);
+          path = path 0 i;
+          (* pool chunks run concurrently, so enclosed child time can
+             exceed the parent's wall time — clamp at zero *)
+          self = Float.max 0. (evs.(i).Span.dur -. children_dur.(i));
+        })
+  in
+  let root_dur = ref 0. and total_self = ref 0. in
+  Array.iteri
+    (fun i (e : Span.event) ->
+      if parent_idx.(i) < 0 then root_dur := !root_dur +. e.Span.dur)
+    evs;
+  List.iter (fun nd -> total_self := !total_self +. nd.self) nodes;
+  { nodes; root_dur = !root_dur; total_self = !total_self }
+
+let nodes t = t.nodes
+let root_dur t = t.root_dur
+let total_self t = t.total_self
+let paths t = List.map (fun nd -> nd.path) t.nodes
+
+(* [--focus NAME]: keep only paths containing NAME, trimmed to start at
+   its first occurrence. *)
+let focus_path name path =
+  let rec drop = function
+    | [] -> None
+    | x :: _ as l when x = name -> Some l
+    | _ :: rest -> drop rest
+  in
+  drop path
+
+let collapsed ?focus t =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun nd ->
+      let kept =
+        match focus with
+        | None -> Some nd.path
+        | Some name -> focus_path name nd.path
+      in
+      match kept with
+      | None -> ()
+      | Some path ->
+        let us = int_of_float (Float.round (nd.self *. 1e6)) in
+        if us > 0 then begin
+          let key = String.concat ";" path in
+          let prev = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+          Hashtbl.replace tbl key (prev + us)
+        end)
+    t.nodes;
+  let lines = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  let lines = List.sort compare lines in
+  let b = Buffer.create 1024 in
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s %d\n" k v)) lines;
+  Buffer.contents b
+
+let self_by_name ?focus t =
+  let tbl : (string, float * int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun nd ->
+      let kept =
+        match focus with
+        | None -> true
+        | Some name -> List.mem name nd.path
+      in
+      if kept then begin
+        let name = nd.event.Span.name in
+        let s, c = Option.value ~default:(0., 0) (Hashtbl.find_opt tbl name) in
+        Hashtbl.replace tbl name (s +. nd.self, c + 1)
+      end)
+    t.nodes;
+  let rows = Hashtbl.fold (fun k (s, c) acc -> (k, s, c) :: acc) tbl [] in
+  List.sort
+    (fun (na, sa, _) (nb, sb, _) ->
+      match compare sb sa with 0 -> compare na nb | c -> c)
+    rows
+
+let report ?focus ?(top = 10) t =
+  let rows = self_by_name ?focus t in
+  let shown = List.filteri (fun i _ -> i < top) rows in
+  let denom = if t.total_self > 0. then t.total_self else 1. in
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "self-time by span (top %d of %d; root wall %.3f s)\n"
+       (List.length shown) (List.length rows) t.root_dur);
+  Buffer.add_string b
+    (Printf.sprintf "  %-36s %10s %8s %6s\n" "span" "self(ms)" "count" "%");
+  List.iter
+    (fun (name, self, count) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-36s %10.3f %8d %5.1f%%\n" name (self *. 1e3)
+           count (100. *. self /. denom)))
+    shown;
+  Buffer.contents b

@@ -1,0 +1,51 @@
+(** Post-hoc analysis of a recorded span buffer.
+
+    Rebuilds the span instance tree from {!Span.events} output — events
+    name their parent span, and the concrete parent *instance* is
+    recovered as the innermost same-named event whose interval contains
+    the child's — then attributes each instance its {e self time}: its
+    own duration minus the summed durations of its direct children,
+    clamped at zero (pool chunks run concurrently, so enclosed child
+    time can exceed the parent's wall clock).
+
+    On a single-domain trace, self time telescopes exactly: the sum of
+    all self times equals the summed duration of the root spans. *)
+
+type node = {
+  event : Span.event;
+  path : string list;  (** root-first chain of span names, own name last *)
+  self : float;        (** self time in seconds, [>= 0] *)
+}
+
+type t
+
+val analyze : Span.event list -> t
+(** Expects the list as returned by {!Span.events} (any order works;
+    instance matching uses intervals, not ordering). *)
+
+val nodes : t -> node list
+val paths : t -> string list list
+(** The [path] of every instance, in input order. Prefix-closed: each
+    proper prefix of a path is itself some instance's path. *)
+
+val root_dur : t -> float
+(** Summed duration of instances with no enclosing parent. *)
+
+val total_self : t -> float
+(** Summed self time of every instance. *)
+
+val collapsed : ?focus:string -> t -> string
+(** Flamegraph collapsed-stack export: one line per distinct path,
+    [a;b;c N] where [N] is the path's total self time in integer
+    microseconds (zero-weight paths are dropped). Lines are sorted, so
+    output is deterministic for a fixed trace. Feed to [flamegraph.pl]
+    or load into speedscope. [?focus] keeps only paths containing the
+    given span name, re-rooted at its first occurrence. *)
+
+val self_by_name : ?focus:string -> t -> (string * float * int) list
+(** Self time aggregated per span name: [(name, self_seconds, count)],
+    sorted by descending self time (ties by name). [?focus] restricts
+    to instances whose path contains the given name. *)
+
+val report : ?focus:string -> ?top:int -> t -> string
+(** Human-readable top-N self-time table (default [top = 10]). *)

@@ -124,18 +124,37 @@ let time_metric name =
    distribution without regressing anything. *)
 let budget_counters =
   [ "linprog.pivots"; "linprog.refactor_eliminations";
-    "network.assignment_pivots" ]
+    "network.assignment_pivots"; "linprog.alloc_bytes" ]
 
-let budget_histograms =
-  [ "linprog.pivots_per_solve"; "linprog.pivots_per_warm_solve" ]
+(* Informational distributions: per-solve pivot histograms (the budget
+   counters already gate their totals) and the pool's per-map
+   chunk-balance ratio (pure scheduling noise). *)
+let ignored_histograms =
+  [ "linprog.pivots_per_solve"; "linprog.pivots_per_warm_solve";
+    "engine.pool.chunk_imbalance" ]
+
+(* Seconds-valued resource budgets: gated one-sided on their sum, like
+   Budget counters, but with slack for scheduler noise. Checked before
+   the [_seconds] time-band rule — a count-exact mean band would flag
+   an *improvement* in pool idle time as drift. *)
+let budget_histograms = [ "campaign.pool_idle_seconds" ]
 
 let default_policy ?(tolerance = 0.5) () : policy =
  fun ~kind name ->
+  let prefix p = String.length name >= String.length p
+                 && String.sub name 0 (String.length p) = p
+  in
   match kind with
-  | `Counter -> if List.mem name budget_counters then Budget else Exact
+  | `Counter ->
+    if List.mem name budget_counters then Budget
+      (* gc.* totals move with any code change — unactionable across
+         commits; linprog.alloc_bytes above is the gated slice *)
+    else if prefix "gc." then Ignore
+    else Exact
   | `Histogram ->
-    if time_metric name then Time_band tolerance
-    else if List.mem name budget_histograms then Ignore
+    if List.mem name budget_histograms then Budget
+    else if List.mem name ignored_histograms then Ignore
+    else if time_metric name then Time_band tolerance
     else Exact
 
 type value =
@@ -195,9 +214,24 @@ let compare_counters rule a b =
 let compare_histograms rule a b =
   match rule with
   | Ignore -> (Match, "ignored by policy")
-  (* [Budget] is a counter rule; a histogram assigned to it compares
-     exactly, like any other value distribution *)
-  | Budget | Exact ->
+  | Budget ->
+    (* seconds-valued resource budgets (pool idle time): one-sided on
+       the summed value, with both relative and absolute slack so
+       scheduler noise doesn't flap the gate *)
+    let sa = Histogram.sum a and sb = Histogram.sum b in
+    let allowed = Float.max (0.5 *. Float.abs sa) 1e-3 in
+    if sa = sb then (Match, "")
+    else if sb < sa then
+      ( Within_band,
+        Printf.sprintf "budget improved: %.3g -> %.3g s" sa sb )
+    else if sb -. sa <= allowed then
+      ( Within_band,
+        Printf.sprintf "budget within slack: %.3g -> %.3g s" sa sb )
+    else
+      ( Drift,
+        Printf.sprintf "budget exceeded: %.3g -> %.3g s (+%.3g)" sa sb
+          (sb -. sa) )
+  | Exact ->
     if not (Histogram.same_geometry a b) then
       (Drift, "histogram geometry changed")
     else if Histogram.bucket_counts a <> Histogram.bucket_counts b then

@@ -60,11 +60,13 @@ type rule =
           the given relative fraction (plus a 50 µs absolute slack for
           micro-histograms). *)
   | Budget
-      (** Counters that measure work spent (simplex pivots, basis
-          refactorisations): gated one-sided. At or under the baseline
-          passes — a decrease is reported as an improvement
-          ({!Within_band}) — while exceeding the baseline is {!Drift}.
-          A histogram assigned to this rule compares as {!Exact}. *)
+      (** Resources spent rather than values computed: gated one-sided.
+          At or under the baseline passes — a decrease is reported as an
+          improvement ({!Within_band}) — while exceeding the baseline is
+          {!Drift}. Counters (simplex pivots, basis refactorisations,
+          [linprog.alloc_bytes]) compare their exact values; histograms
+          ([campaign.pool_idle_seconds]) compare their summed value with
+          50% relative / 1 ms absolute slack for scheduler noise. *)
   | Ignore
       (** Always passes; the metric still appears in the report. *)
 
@@ -72,15 +74,19 @@ type policy = kind:[ `Counter | `Histogram ] -> string -> rule
 
 val default_policy : ?tolerance:float -> unit -> policy
 (** Counters are [Exact], except the work budgets [linprog.pivots],
-    [linprog.refactor_eliminations] and [network.assignment_pivots]
-    which are [Budget] (a pivot-count
-    regression fails the gate; an improvement passes without a baseline
-    refresh). Histograms whose name ends in [_seconds] / [.seconds] or
-    starts with [phase.] get [Time_band tolerance] (default 0.5, i.e.
-    ±50%); the per-solve pivot distributions
-    ([linprog.pivots_per_solve], [linprog.pivots_per_warm_solve]) are
-    [Ignore] — the budget counters already gate their totals; every
-    other histogram is [Exact]. *)
+    [linprog.refactor_eliminations], [network.assignment_pivots] and
+    [linprog.alloc_bytes], which are [Budget] (a regression fails the
+    gate; an improvement passes without a baseline refresh), and the
+    [gc.*] process totals, which are [Ignore] (they move with any code
+    change; the gated slice is [linprog.alloc_bytes]). Histograms:
+    [campaign.pool_idle_seconds] is [Budget] (one-sided on its sum);
+    names ending in [_seconds] / [.seconds] or starting with [phase.]
+    get [Time_band tolerance] (default 0.5, i.e. ±50%) — this covers
+    the [engine.pool.*_seconds] utilization histograms; the per-solve
+    pivot distributions ([linprog.pivots_per_solve],
+    [linprog.pivots_per_warm_solve]) and the scheduling-noise ratio
+    [engine.pool.chunk_imbalance] are [Ignore]; every other histogram
+    is [Exact]. *)
 
 type value =
   | Counter of int

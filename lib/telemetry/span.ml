@@ -40,11 +40,17 @@ let with_span ?(cat = "app") ?(args = []) name f =
     let stack = Domain.DLS.get stack_key in
     let parent = match stack with [] -> "" | p :: _ -> p in
     Domain.DLS.set stack_key (name :: stack);
+    let res0 = if Resource.enabled () then Some (Resource.sample ()) else None in
     let t0 = Unix.gettimeofday () in
     Fun.protect
       ~finally:(fun () ->
         let t1 = Unix.gettimeofday () in
         Domain.DLS.set stack_key stack;
+        let args =
+          match res0 with
+          | None -> args
+          | Some s0 -> args @ Resource.span_args (Resource.delta_since s0)
+        in
         record
           { name;
             cat;

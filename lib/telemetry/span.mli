@@ -38,7 +38,11 @@ val with_span :
   (unit -> 'a) -> 'a
 (** [with_span name f] runs [f ()]; when tracing is on, it pushes [name]
     onto this domain's span stack for the duration and records one event
-    (also when [f] raises). When tracing is off it is [f ()]. *)
+    (also when [f] raises). When tracing is off it is [f ()]. When
+    {!Resource.enabled} also holds, the event's [args] additionally carry
+    the span's GC delta ([gc.minor_words], [gc.major_collections],
+    [gc.alloc_bytes], …); note that a parent span's delta includes its
+    children's. *)
 
 val instant : ?cat:string -> ?args:(string * Json.t) list -> string -> unit
 (** Record a zero-duration marker event at the current time. *)

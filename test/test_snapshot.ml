@@ -159,6 +159,66 @@ let test_exact_histogram_distribution () =
     ((find_cmp d name).S.status = S.Drift)
 
 (* ------------------------------------------------------------------ *)
+(* Resource budgets: one-sided counters and histograms, ignored gc.*   *)
+(* ------------------------------------------------------------------ *)
+
+let test_alloc_budget_one_sided () =
+  let name = "linprog.alloc_bytes" in
+  let base = snap [] [ (name, 1_000_000) ] in
+  let improved = snap [] [ (name, 900_000) ] in
+  let regressed = snap [] [ (name, 1_000_001) ] in
+  let d = S.diff base improved in
+  Alcotest.(check bool) "allocating less passes" true (S.ok d);
+  Alcotest.(check bool) "improvement is within-band" true
+    ((find_cmp d name).S.status = S.Within_band);
+  let d = S.diff base regressed in
+  Alcotest.(check bool) "allocating more fails" false (S.ok d);
+  Alcotest.(check bool) "regression is drift" true
+    ((find_cmp d name).S.status = S.Drift)
+
+let test_gc_counters_ignored () =
+  let name = "gc.minor_words" in
+  let base = snap [] [ (name, 5_000_000) ] in
+  let moved = snap [] [ (name, 9_999_999) ] in
+  let d = S.diff base moved in
+  Alcotest.(check bool) "gc totals never gate" true (S.ok d);
+  Alcotest.(check bool) "rule is Ignore" true
+    ((find_cmp d name).S.rule = S.Ignore)
+
+let test_pool_idle_budget_histogram () =
+  let name = "campaign.pool_idle_seconds" in
+  let base = snap [ (name, hist_of [ 0.2; 0.2 ]) ] [] in
+  (* less idle time, different sample count: still passes — the gate is
+     one-sided on the sum, not count-exact like a Time_band *)
+  let improved = snap [ (name, hist_of [ 0.1 ]) ] [] in
+  let d = S.diff base improved in
+  Alcotest.(check bool) "less idle passes" true (S.ok d);
+  Alcotest.(check bool) "improvement is within-band" true
+    ((find_cmp d name).S.status = S.Within_band);
+  (* within the 50% slack: allowed *)
+  let noisy = snap [ (name, hist_of [ 0.2; 0.25 ]) ] [] in
+  Alcotest.(check bool) "scheduler noise within slack passes" true
+    (S.ok (S.diff base noisy));
+  (* well past the slack: regression *)
+  let regressed = snap [ (name, hist_of [ 0.5; 0.5 ]) ] [] in
+  let d = S.diff base regressed in
+  Alcotest.(check bool) "much more idle fails" false (S.ok d);
+  Alcotest.(check bool) "regression is drift" true
+    ((find_cmp d name).S.status = S.Drift);
+  (* both empty (the 1-domain check workload): clean match *)
+  let empty = snap [ (name, hist_of []) ] [] in
+  let empty' = snap [ (name, hist_of []) ] [] in
+  Alcotest.(check bool) "empty vs empty matches" true
+    (S.identical (S.diff empty empty'))
+
+let test_chunk_imbalance_ignored () =
+  let name = "engine.pool.chunk_imbalance" in
+  let base = snap [ (name, hist_of [ 1.1; 1.4 ]) ] [] in
+  let moved = snap [ (name, hist_of [ 3.9 ]) ] [] in
+  Alcotest.(check bool) "imbalance ratio never gates" true
+    (S.ok (S.diff base moved))
+
+(* ------------------------------------------------------------------ *)
 (* Report rendering                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -197,6 +257,14 @@ let suites =
         Alcotest.test_case "time-band tolerance" `Quick test_time_band_policy;
         Alcotest.test_case "exact histogram distribution" `Quick
           test_exact_histogram_distribution;
+        Alcotest.test_case "alloc budget gates one-sided" `Quick
+          test_alloc_budget_one_sided;
+        Alcotest.test_case "gc.* counters ignored" `Quick
+          test_gc_counters_ignored;
+        Alcotest.test_case "pool idle budget histogram" `Quick
+          test_pool_idle_budget_histogram;
+        Alcotest.test_case "chunk imbalance ignored" `Quick
+          test_chunk_imbalance_ignored;
         Alcotest.test_case "report names the offender" `Quick
           test_report_names_offender;
       ] );

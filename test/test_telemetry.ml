@@ -359,6 +359,246 @@ let test_netsim_metrics_merge () =
     (Telemetry.Histogram.count (Netsim.Metrics.block_bits_histogram merged))
 
 (* ------------------------------------------------------------------ *)
+(* Resource accounting                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* allocate enough to be visible through any GC state *)
+let churn () =
+  let junk = ref [] in
+  for i = 0 to 2_000 do
+    junk := Array.make 16 (float_of_int i) :: !junk
+  done;
+  ignore (Sys.opaque_identity !junk)
+
+let test_resource_delta_monotone () =
+  let s0 = Telemetry.Resource.sample () in
+  churn ();
+  let d1 = Telemetry.Resource.delta_since s0 in
+  Alcotest.(check bool) "minor words grew" true
+    (d1.Telemetry.Resource.minor_words > 0.);
+  Alcotest.(check bool) "alloc bytes grew" true
+    (d1.Telemetry.Resource.alloc_bytes > 0.);
+  Alcotest.(check bool) "no negative fields" true
+    (d1.Telemetry.Resource.major_words >= 0.
+    && d1.Telemetry.Resource.promoted_words >= 0.
+    && d1.Telemetry.Resource.minor_collections >= 0
+    && d1.Telemetry.Resource.major_collections >= 0);
+  churn ();
+  (* the runtime counters are cumulative, so a later delta from the
+     same sample dominates an earlier one *)
+  let d2 = Telemetry.Resource.delta_since s0 in
+  Alcotest.(check bool) "monotone minor words" true
+    (d2.Telemetry.Resource.minor_words >= d1.Telemetry.Resource.minor_words);
+  Alcotest.(check bool) "monotone alloc bytes" true
+    (d2.Telemetry.Resource.alloc_bytes >= d1.Telemetry.Resource.alloc_bytes);
+  Alcotest.(check bool) "monotone collections" true
+    (d2.Telemetry.Resource.minor_collections
+     >= d1.Telemetry.Resource.minor_collections
+    && d2.Telemetry.Resource.major_collections
+       >= d1.Telemetry.Resource.major_collections)
+
+let test_resource_account_counters () =
+  let minor = Telemetry.Metrics.counter "gc.minor_words" in
+  let bytes = Telemetry.Metrics.counter "gc.alloc_bytes" in
+  let m0 = Telemetry.Metrics.value minor in
+  let b0 = Telemetry.Metrics.value bytes in
+  let r = Telemetry.Resource.account (fun () -> churn (); 42) in
+  Alcotest.(check int) "result" 42 r;
+  Alcotest.(check bool) "gc.minor_words accumulated" true
+    (Telemetry.Metrics.value minor > m0);
+  Alcotest.(check bool) "gc.alloc_bytes accumulated" true
+    (Telemetry.Metrics.value bytes > b0)
+
+let test_resource_span_args () =
+  Telemetry.Resource.with_enabled true (fun () ->
+      Telemetry.Span.start ();
+      Telemetry.Span.with_span "alloc-span" churn;
+      Telemetry.Span.stop ());
+  let ev =
+    List.find
+      (fun e -> e.Telemetry.Span.name = "alloc-span")
+      (Telemetry.Span.events ())
+  in
+  let arg k = List.assoc_opt k ev.Telemetry.Span.args in
+  (match arg "gc.minor_words" with
+  | Some (J.Float w) ->
+    Alcotest.(check bool) "span minor words positive" true (w > 0.)
+  | _ -> Alcotest.fail "span lacks gc.minor_words arg");
+  (match arg "gc.alloc_bytes" with
+  | Some (J.Float b) ->
+    Alcotest.(check bool) "span alloc bytes positive" true (b > 0.)
+  | _ -> Alcotest.fail "span lacks gc.alloc_bytes arg");
+  (* with tracking off, spans stay lean *)
+  Telemetry.Span.start ();
+  Telemetry.Span.with_span "lean-span" churn;
+  Telemetry.Span.stop ();
+  let lean =
+    List.find
+      (fun e -> e.Telemetry.Span.name = "lean-span")
+      (Telemetry.Span.events ())
+  in
+  Alcotest.(check bool) "no gc args when disabled" true
+    (List.assoc_opt "gc.minor_words" lean.Telemetry.Span.args = None)
+
+(* ------------------------------------------------------------------ *)
+(* Span analyzer: self time, flamegraph export                         *)
+(* ------------------------------------------------------------------ *)
+
+let spin seconds =
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. t0 < seconds do
+    ignore (Sys.opaque_identity 0)
+  done
+
+(* On a single-domain trace self time telescopes: every child interval
+   is contained in (and counted against) its parent, so the sum of self
+   times equals the summed root durations up to float addition noise. *)
+let test_self_time_conservation () =
+  Telemetry.Span.start ();
+  Telemetry.Span.with_span "root" (fun () ->
+      spin 0.004;
+      Telemetry.Span.with_span "a" (fun () ->
+          spin 0.003;
+          Telemetry.Span.with_span "a1" (fun () -> spin 0.002));
+      Telemetry.Span.with_span "b" (fun () -> spin 0.003));
+  Telemetry.Span.stop ();
+  let t = Telemetry.Analyze.analyze (Telemetry.Span.events ()) in
+  let total = Telemetry.Analyze.total_self t in
+  let root = Telemetry.Analyze.root_dur t in
+  Alcotest.(check bool) "root has duration" true (root > 0.005);
+  Alcotest.(check bool)
+    (Printf.sprintf "self times telescope (total %.6f vs root %.6f)" total
+       root)
+    true
+    (Float.abs (total -. root) <= 1e-6);
+  (* every instance got a positive-or-zero self share *)
+  List.iter
+    (fun nd ->
+      Alcotest.(check bool) "self >= 0" true (nd.Telemetry.Analyze.self >= 0.))
+    (Telemetry.Analyze.nodes t)
+
+let test_collapsed_stacks_wellformed () =
+  Telemetry.Span.start ();
+  Telemetry.Span.with_span "top" (fun () ->
+      spin 0.002;
+      Telemetry.Span.with_span "mid" (fun () ->
+          spin 0.002;
+          Telemetry.Span.with_span "leaf" (fun () -> spin 0.002)));
+  Telemetry.Span.stop ();
+  let t = Telemetry.Analyze.analyze (Telemetry.Span.events ()) in
+  let out = Telemetry.Analyze.collapsed t in
+  Alcotest.(check bool) "non-empty" true (String.length out > 0);
+  let recorded =
+    List.map (String.concat ";") (Telemetry.Analyze.paths t)
+  in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  List.iter
+    (fun line ->
+      match String.rindex_opt line ' ' with
+      | None -> Alcotest.failf "malformed collapsed line %S" line
+      | Some i ->
+        let path = String.sub line 0 i in
+        let weight =
+          String.sub line (i + 1) (String.length line - i - 1)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "weight %S is a positive int" weight)
+          true
+          (match int_of_string_opt weight with
+          | Some w -> w > 0
+          | None -> false);
+        Alcotest.(check bool)
+          (Printf.sprintf "path %S is a recorded span path" path)
+          true
+          (List.mem path recorded))
+    lines;
+  (* focus re-roots at the named span and drops unrelated paths *)
+  let focused = Telemetry.Analyze.collapsed ~focus:"mid" t in
+  List.iter
+    (fun line ->
+      if String.trim line <> "" then
+        Alcotest.(check bool)
+          (Printf.sprintf "focused line %S starts at mid" line)
+          true
+          (String.length line >= 3 && String.sub line 0 3 = "mid"))
+    (String.split_on_char '\n' (String.trim focused))
+
+(* Random span trees: whatever the nesting (including repeated names,
+   which stress parent-instance matching), the reconstructed path set
+   must be prefix-closed and self times must telescope within the
+   root total. *)
+type span_tree = T of int * span_tree list
+
+let gen_span_tree =
+  QCheck.Gen.(
+    sized_size (int_bound 10) @@ fix (fun self n ->
+        map2
+          (fun label kids -> T (label, kids))
+          (int_bound 4)
+          (if n <= 0 then return []
+           else list_size (int_bound 3) (self (n / 2)))))
+
+let arbitrary_span_tree =
+  let rec print (T (l, kids)) =
+    Printf.sprintf "T(%d,[%s])" l (String.concat ";" (List.map print kids))
+  in
+  QCheck.make ~print gen_span_tree
+
+let analyzer_paths_prefix_closed =
+  QCheck.Test.make ~count:100 ~name:"analyzer paths are prefix-closed"
+    arbitrary_span_tree (fun tree ->
+      Telemetry.Span.start ();
+      (* each span spins long enough that nested starts are separated by
+         more than the analyzer's containment slack — instantaneous
+         spans with colliding timestamps are unattributable in any
+         trace format, not something the heuristic should untangle *)
+      let rec exec (T (label, kids)) =
+        Telemetry.Span.with_span ("s" ^ string_of_int label) (fun () ->
+            spin 5e-5;
+            List.iter exec kids)
+      in
+      exec tree;
+      Telemetry.Span.stop ();
+      let t = Telemetry.Analyze.analyze (Telemetry.Span.events ()) in
+      let paths = Telemetry.Analyze.paths t in
+      let rec prefixes = function
+        | [] | [ _ ] -> []
+        | x :: rest ->
+          [ x ] :: List.map (fun p -> x :: p) (prefixes rest)
+      in
+      List.for_all
+        (fun p -> List.for_all (fun pre -> List.mem pre paths) (prefixes p))
+        paths
+      && Telemetry.Analyze.total_self t
+         <= Telemetry.Analyze.root_dur t +. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Resource tracking is observation-only                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The invariant the whole layer rests on: enabling GC/allocation
+   tracking changes nothing about computed results, at any domain
+   count. Rendered figure text is the full value surface. *)
+let test_resource_byte_identity () =
+  let render ~resource ~domains =
+    Engine.Memo.clear_all ();
+    Engine.Pool.set_default_domains domains;
+    Telemetry.Resource.set_enabled resource;
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.Resource.set_enabled false;
+        Engine.Pool.set_default_domains 1)
+      (fun () -> Report.render_figure (Bidir.Figures.fig3 ~samples:9 ()))
+  in
+  let off1 = render ~resource:false ~domains:1 in
+  let on1 = render ~resource:true ~domains:1 in
+  let on4 = render ~resource:true ~domains:4 in
+  let off4 = render ~resource:false ~domains:4 in
+  Alcotest.(check string) "tracking on = off (1 domain)" off1 on1;
+  Alcotest.(check string) "tracking on: 4 domains = 1 domain" on1 on4;
+  Alcotest.(check string) "tracking off: 4 domains = 1 domain" off1 off4
+
+(* ------------------------------------------------------------------ *)
 
 let suites =
   [ ( "telemetry.histogram",
@@ -402,5 +642,22 @@ let suites =
       [ Alcotest.test_case "block bits histogram" `Quick
           test_netsim_block_bits;
         Alcotest.test_case "merge" `Quick test_netsim_metrics_merge;
+      ] );
+    ( "telemetry.resource",
+      [ Alcotest.test_case "GC deltas are monotone" `Quick
+          test_resource_delta_monotone;
+        Alcotest.test_case "account feeds gc.* counters" `Quick
+          test_resource_account_counters;
+        Alcotest.test_case "spans carry GC deltas when enabled" `Quick
+          test_resource_span_args;
+        Alcotest.test_case "tracking is observation-only (domains 1/4)"
+          `Quick test_resource_byte_identity;
+      ] );
+    ( "telemetry.analyze",
+      [ Alcotest.test_case "self times telescope to root wall time" `Quick
+          test_self_time_conservation;
+        Alcotest.test_case "collapsed stacks well-formed, focus re-roots"
+          `Quick test_collapsed_stacks_wellformed;
+        QCheck_alcotest.to_alcotest analyzer_paths_prefix_closed;
       ] );
   ]
