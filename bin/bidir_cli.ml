@@ -43,14 +43,21 @@ let kind_arg =
 (* Engine knobs: every evaluation command takes [--domains N] (parallel
    LP sweeps; results are bit-identical for any N), [--stats] (print
    LP-solve and cache counters to stderr when done), [--trace FILE]
-   (record spans and write a Chrome trace) and [--metrics FILE] (dump
-   the full telemetry registry as JSON). *)
+   (record spans and write a Chrome trace), [--metrics FILE] (dump
+   the full telemetry registry as JSON), [--live FILE] (stream
+   bidir-live/1 heartbeats while running; tail with `bidir top`) and
+   [--slo SPEC] (SLO watchdog thresholds evaluated at every
+   heartbeat). *)
 type engine_opts = {
   domains : int;
   stats : bool;
   trace : string option;
   metrics : string option;
   resource : bool;
+  live : string option;
+  live_interval : float;
+  slo : string list;
+  log_level : string;
 }
 
 let engine_args ?(default_domains = 1) () =
@@ -90,9 +97,41 @@ let engine_args ?(default_domains = 1) () =
                    $(b,--trace) carry per-span GC deltas. Observation \
                    only — results are unchanged.")
   in
-  Term.(const (fun domains stats trace metrics resource ->
-            { domains; stats; trace; metrics; resource })
-        $ domains $ stats $ trace $ metrics $ resource)
+  let live =
+    Arg.(value & opt (some string) None
+         & info [ "live" ] ~docv:"FILE"
+             ~doc:"Stream live telemetry (bidir-live/1 JSONL heartbeats: \
+                   progress, counter deltas, histogram digests, log \
+                   records) to $(docv) while running; follow it with \
+                   $(b,bidir top) $(docv). Observation only — outputs \
+                   are byte-identical with or without it.")
+  in
+  let live_interval =
+    Arg.(value & opt float 0.
+         & info [ "live-interval" ] ~docv:"SECONDS"
+             ~doc:"Minimum seconds between live heartbeats (default 0: \
+                   emit one at every progress pulse).")
+  in
+  let slo =
+    Arg.(value & opt_all string []
+         & info [ "slo" ] ~docv:"METRIC:STAT:WARN[:ERROR]"
+             ~doc:"SLO watchdog threshold, checked at every live \
+                   heartbeat: log a warning (error) record when STAT of \
+                   METRIC exceeds WARN (ERROR). STAT is one of value, \
+                   sum, mean, count, p50, p90, p99. Repeatable.")
+  in
+  let log_level =
+    Arg.(value & opt string "info"
+         & info [ "log-level" ] ~docv:"LEVEL"
+             ~doc:"Minimum structured-log level captured into the live \
+                   stream: debug, info, warn or error (default info).")
+  in
+  Term.(const (fun domains stats trace metrics resource live live_interval
+                   slo log_level ->
+            { domains; stats; trace; metrics; resource; live; live_interval;
+              slo; log_level })
+        $ domains $ stats $ trace $ metrics $ resource $ live $ live_interval
+        $ slo $ log_level)
 
 let write_file path content =
   let oc = open_out path in
@@ -107,11 +146,36 @@ let with_engine opts f =
   end;
   Engine.Pool.set_default_domains opts.domains;
   Engine.Stats.reset ();
+  (match Telemetry.Stream.level_of_name opts.log_level with
+  | Some lvl -> Telemetry.Log.set_level lvl
+  | None ->
+    Printf.eprintf "--log-level: unknown level %S (expected debug, info, \
+                    warn or error)\n" opts.log_level;
+    exit 2);
+  let slos =
+    List.map
+      (fun spec ->
+        match Telemetry.Log.parse_slo spec with
+        | Ok slo -> slo
+        | Error msg ->
+          Printf.eprintf "--slo %s: %s\n" spec msg;
+          exit 2)
+      opts.slo
+  in
+  if slos <> [] then Telemetry.Log.set_slos slos;
   if opts.trace <> None then Telemetry.Span.start ();
   if opts.resource then Telemetry.Resource.set_enabled true;
+  (match opts.live with
+  | None -> ()
+  | Some path -> Telemetry.Stream.open_live ~interval:opts.live_interval path);
   let f = if opts.resource then fun () -> Telemetry.Resource.account f else f in
   Fun.protect
     ~finally:(fun () ->
+      (match opts.live with
+      | None -> ()
+      | Some path ->
+        Telemetry.Stream.close_live ();
+        Printf.eprintf "live: wrote %s\n" path);
       (match opts.trace with
       | None -> ()
       | Some path ->
@@ -203,15 +267,34 @@ let figures_cmd =
       | "all" ->
         (* same artifacts in the same order as before, but each one runs
            under its own phase timer so `--stats` (and `--metrics`)
-           report per-artifact wall time *)
-        let timed id f = Engine.Stats.timed ("artifact:" ^ id) f in
+           report per-artifact wall time; with --live each completed
+           artifact also emits a progress event and a heartbeat pulse *)
+        let total = 11 and completed = ref 0 in
+        let t0 = Unix.gettimeofday () in
+        let step id f =
+          Engine.Stats.timed ("artifact:" ^ id) f;
+          incr completed;
+          if Telemetry.Stream.enabled () then begin
+            let elapsed = Unix.gettimeofday () -. t0 in
+            let rate =
+              if elapsed > 0. then float_of_int !completed /. elapsed else 0.
+            in
+            let eta_seconds =
+              if rate > 0. then Some (float_of_int (total - !completed) /. rate)
+              else None
+            in
+            Telemetry.Stream.note_progress ~name:"figures"
+              ~completed:!completed ~total ~rate ?eta_seconds ()
+          end;
+          Telemetry.Stream.pulse_live ()
+        in
         List.iter
-          (fun id -> timed id (fun () -> one id))
+          (fun id -> step id (fun () -> one id))
           [ "fig3"; "fig3-snr"; "fig4a"; "fig4b"; "gap"; "crossover";
             "hbc-witness"; "coding-gain"; "discrete" ];
-        timed "ergodic" (fun () ->
+        step "ergodic" (fun () ->
             table (Bidir.Ergodic.ergodic_table ~blocks:400 ()));
-        timed "map" (fun () -> emit_string "map" (Report.protocol_map ()))
+        step "map" (fun () -> emit_string "map" (Report.protocol_map ()))
       | other ->
         Printf.eprintf "unknown artifact id %S\n" other;
         exit 2
@@ -713,6 +796,7 @@ let campaign_cmd =
           checkpoint;
           resume;
           ci_target;
+          on_progress = None;
         }
       in
       let result =
@@ -804,8 +888,16 @@ let network_cmd =
       exit 2
     end;
     let scenario = Network.Scenario.random ~pairs ~relays ~seed () in
+    (* three coarse live-progress stages: the rate table dominates the
+       wall time (pairs * relays * protocols rate-region solves) *)
+    let stage completed =
+      Telemetry.Stream.note_progress ~name:"network" ~completed ~total:3 ();
+      Telemetry.Stream.pulse_live ()
+    in
     let table = Network.Assign.rate_table scenario in
+    stage 1;
     let solution = Network.Assign.solve_table strategy table in
+    stage 2;
     (* the greedy baseline reuses the evaluated table, so reporting the
        coordination gap costs no further rate-region LPs *)
     let greedy =
@@ -814,6 +906,7 @@ let network_cmd =
       | Network.Assign.Lp ->
         Network.Assign.solve_table Network.Assign.Greedy table
     in
+    stage 3;
     Printf.printf
       "network: %d pairs, %d relays, seed %d, %s assignment\n" pairs relays
       seed
@@ -909,6 +1002,17 @@ let check_workload () =
      one-sided exactly like the pivot budget (the noisy gc.* process
      totals are Ignored by the policy) *)
   Telemetry.Resource.set_enabled true;
+  (* stream to a throwaway live file so the telemetry.stream.* counters
+     are exercised and gated: the campaign leg below runs 4 batches, so
+     exactly 4 progress events and 5 heartbeats (one per batch plus the
+     closing flush) — and a zero drop budget — are part of the baseline *)
+  let live_tmp = Filename.temp_file "bidir-check-live" ".jsonl" in
+  Telemetry.Stream.open_live ~interval:0. live_tmp;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Stream.close_live ();
+      try Sys.remove live_tmp with Sys_error _ -> ())
+  @@ fun () ->
   Telemetry.Resource.account @@ fun () ->
   Engine.Stats.timed "check:figures" (fun () ->
       ignore (Bidir.Figures.fig3 ~samples:9 () : Bidir.Figures.figure);
@@ -1031,6 +1135,13 @@ let check_cmd =
           (lp.solve_seconds, phase.*, engine.pool.*_seconds) only need \
           an identical sample count and a mean within $(b,--tolerance) \
           percent; the gc.* process totals are ignored.";
+      `P "The workload also streams to a throwaway live file, so the \
+          telemetry.stream.* counters are part of the baseline: event \
+          and heartbeat counts compare exactly, and \
+          telemetry.stream.dropped_events gates one-sided with a zero \
+          budget — the check workload must never drop a live event. The \
+          heartbeat-timing histogram (telemetry.stream.flush_seconds) \
+          is ignored.";
       `P "Exits 0 when the diff has no violations, 1 on regression, 2 on \
           usage or IO errors.";
     ]
@@ -1038,6 +1149,129 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc ~man)
     Term.(const run $ against_arg $ tolerance_arg $ update_arg $ report_arg
           $ label_arg)
+
+(* ------------------------------------------------------------------ *)
+(* top                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let top_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE"
+             ~doc:"Live telemetry file written by a run with \
+                   $(b,--live) $(docv).")
+  in
+  let once_arg =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Render a single frame from the file's current \
+                   contents and exit (deterministic: frames depend only \
+                   on the file, never on the wall clock).")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the frame as JSON instead of text (with \
+                   $(b,--once): a single machine-readable state dump).")
+  in
+  let refresh_arg =
+    Arg.(value & opt float 1.0
+         & info [ "refresh" ] ~docv:"SECONDS"
+             ~doc:"Polling interval in follow mode (default 1.0).")
+  in
+  let render st json =
+    if json then
+      Telemetry.Json.to_string_pretty (Telemetry.Live.to_json st) ^ "\n"
+    else Telemetry.Live.render st
+  in
+  let read_once path json =
+    match open_in_bin path with
+    | exception Sys_error msg ->
+      Printf.eprintf "top: %s\n" msg;
+      exit 2
+    | ic ->
+      let st = Telemetry.Live.create () in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try
+            while true do
+              Telemetry.Live.feed_line st (input_line ic)
+            done
+          with End_of_file -> ());
+      if Telemetry.Live.records st = 0 then begin
+        Printf.eprintf "top: %s contains no bidir-live records\n" path;
+        exit 2
+      end;
+      print_string (render st json)
+  in
+  (* Follow mode: poll the file by byte offset, feeding whole appended
+     lines into the reader state. The file is append-only, so a plain
+     offset tail is exact; a partial trailing line is buffered until its
+     newline arrives. *)
+  let follow path json refresh =
+    let st = Telemetry.Live.create () in
+    let offset = ref 0 and partial = Buffer.create 256 in
+    let missing_notice = ref false in
+    let poll () =
+      match open_in_bin path with
+      | exception Sys_error _ ->
+        if not !missing_notice then begin
+          missing_notice := true;
+          Printf.printf "top: waiting for %s …\n%!" path
+        end
+      | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let len = in_channel_length ic in
+            if len > !offset then begin
+              seek_in ic !offset;
+              let chunk = really_input_string ic (len - !offset) in
+              offset := len;
+              String.iter
+                (fun c ->
+                  if c = '\n' then begin
+                    Telemetry.Live.feed_line st (Buffer.contents partial);
+                    Buffer.clear partial
+                  end
+                  else Buffer.add_char partial c)
+                chunk
+            end);
+        print_string "\027[H\027[2J";
+        print_string (render st json);
+        flush stdout
+    in
+    poll ();
+    while not (Telemetry.Live.finished st) do
+      Unix.sleepf refresh;
+      poll ()
+    done
+  in
+  let run file once json refresh =
+    if refresh <= 0. then begin
+      Printf.eprintf "--refresh must be > 0\n";
+      exit 2
+    end;
+    if once then read_once file json else follow file json refresh
+  in
+  let doc = "Tail a live telemetry file and render a refreshing dashboard." in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Reads the bidir-live/1 JSONL stream that a concurrent run \
+          ($(b,bidir campaign --live), $(b,bidir figures all --live), \
+          $(b,bidir network --live)) appends to, and renders progress, \
+          throughput, confidence-interval width, ETA, latency digests, \
+          pool utilization and recent warnings, refreshing every \
+          $(b,--refresh) seconds until the writer's final record \
+          arrives.";
+      `P "$(b,--once) renders exactly one frame from the file's current \
+          contents and exits — the frame is a pure function of the file \
+          bytes, so it is usable (and diffable) in CI.";
+    ]
+  in
+  Cmd.v (Cmd.info "top" ~doc ~man)
+    Term.(const run $ file_arg $ once_arg $ json_arg $ refresh_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1049,7 +1283,8 @@ let main_cmd =
   let info = Cmd.info "bidir" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ figures_cmd; sumrate_cmd; region_cmd; simulate_cmd; sweep_cmd;
-      select_cmd; arq_cmd; profile_cmd; campaign_cmd; network_cmd; check_cmd ]
+      select_cmd; arq_cmd; profile_cmd; campaign_cmd; network_cmd; top_cmd;
+      check_cmd ]
 
 let () =
   Fmt_tty.setup_std_outputs ();

@@ -8,6 +8,16 @@ type workload = {
   replicate : rep:int -> rng:Prob.Rng.t -> observation;
 }
 
+type progress = {
+  completed : int;
+  target : int;
+  elapsed_seconds : float;
+  rate : float;
+  max_half_width : float option;
+  ci_target : float option;
+  eta_seconds : float option;
+}
+
 type config = {
   seed : int;
   replications : int;
@@ -16,11 +26,13 @@ type config = {
   checkpoint : string option;
   resume : bool;
   ci_target : float option;
+  on_progress : (progress -> unit) option;
 }
 
 let default_config ?(seed = 42) ?(domains = 1) ?(batch = 32) ?checkpoint
-    ?(resume = false) ?ci_target ~replications () =
-  { seed; replications; domains; batch; checkpoint; resume; ci_target }
+    ?(resume = false) ?ci_target ?on_progress ~replications () =
+  { seed; replications; domains; batch; checkpoint; resume; ci_target;
+    on_progress }
 
 type summary = {
   count : int;
@@ -314,18 +326,90 @@ let run (cfg : config) (w : workload) =
         Telemetry.Metrics.time shard_seconds (fun () ->
             w.replicate ~rep ~rng))
   in
+  (* spawn the workers before the first batch so the fan-out spawn cost
+     is not attributed to the campaign's first shards *)
+  if cfg.domains > 1 then Engine.Pool.prewarm ~domains:cfg.domains ();
+  let t_run0 = Unix.gettimeofday () in
+  let initial_completed = st.completed in
+  let progress_now () =
+    let elapsed = Unix.gettimeofday () -. t_run0 in
+    let done_here = st.completed - initial_completed in
+    let rate =
+      if elapsed > 0. && done_here > 0 then float_of_int done_here /. elapsed
+      else 0.
+    in
+    let max_hw =
+      Hashtbl.fold
+        (fun _ a acc ->
+          if a.n < 2 then acc
+          else
+            let hw = half_width a in
+            match acc with
+            | None -> Some hw
+            | Some m -> Some (Float.max m hw))
+        st.value_accs None
+    in
+    let remaining = max 0 (cfg.replications - st.completed) in
+    let eta =
+      if rate > 0. then Some (float_of_int remaining /. rate) else None
+    in
+    { completed = st.completed;
+      target = cfg.replications;
+      elapsed_seconds = elapsed;
+      rate;
+      max_half_width = max_hw;
+      ci_target = cfg.ci_target;
+      eta_seconds = eta;
+    }
+  in
+  let emit_progress () =
+    if Option.is_some cfg.on_progress || Telemetry.Stream.enabled () then begin
+      let p = progress_now () in
+      (match cfg.on_progress with Some f -> f p | None -> ());
+      Telemetry.Stream.note_progress ~name:("campaign:" ^ w.name)
+        ~completed:p.completed ~total:p.target ~rate:p.rate
+        ?ci_half_width:p.max_half_width ?ci_target:p.ci_target
+        ?eta_seconds:p.eta_seconds ()
+    end;
+    (* heartbeat (and SLO watchdog) at every batch boundary *)
+    Telemetry.Stream.pulse_live ()
+  in
   let stopped_early = ref false in
-  while st.completed < cfg.replications && not !stopped_early do
-    let n = min cfg.batch (cfg.replications - st.completed) in
-    let tasks = List.init n (fun i -> (st.completed + i, Prob.Rng.split parent)) in
-    let observations = Engine.Pool.map ~domains:cfg.domains run_one tasks in
-    List.iter (accumulate st) observations;
-    Telemetry.Metrics.add replications_counter n;
-    (match cfg.checkpoint with
-    | Some path -> write_checkpoint path w cfg st
-    | None -> ());
-    if ci_target_met st cfg.ci_target then stopped_early := true
-  done;
+  (* With no checkpoint, no stopping rule, no progress consumer and no
+     live stream, batch boundaries are unobservable — so issue ONE pool
+     fan-out over all remaining replications instead of one per batch.
+     The RNG split order and the (sequential, replication-order)
+     accumulation are identical either way, so the result stays
+     byte-identical; only the fan-out count changes. *)
+  let fused =
+    cfg.checkpoint = None && cfg.ci_target = None
+    && Option.is_none cfg.on_progress
+    && not (Telemetry.Stream.enabled ())
+  in
+  if fused then begin
+    let remaining = cfg.replications - st.completed in
+    if remaining > 0 then begin
+      let tasks =
+        List.init remaining (fun i -> (st.completed + i, Prob.Rng.split parent))
+      in
+      let observations = Engine.Pool.map ~domains:cfg.domains run_one tasks in
+      List.iter (accumulate st) observations;
+      Telemetry.Metrics.add replications_counter remaining
+    end
+  end
+  else
+    while st.completed < cfg.replications && not !stopped_early do
+      let n = min cfg.batch (cfg.replications - st.completed) in
+      let tasks = List.init n (fun i -> (st.completed + i, Prob.Rng.split parent)) in
+      let observations = Engine.Pool.map ~domains:cfg.domains run_one tasks in
+      List.iter (accumulate st) observations;
+      Telemetry.Metrics.add replications_counter n;
+      (match cfg.checkpoint with
+      | Some path -> write_checkpoint path w cfg st
+      | None -> ());
+      if ci_target_met st cfg.ci_target then stopped_early := true;
+      emit_progress ()
+    done;
   (* fold the per-replication counters into the global registry once,
      from the final totals (a resumed run must not double-count the
      replications its checkpoint already covered) *)

@@ -20,6 +20,14 @@
     are domain-independent, a resumed or early-stopped campaign is also
     byte-identical across domain counts.
 
+    When batch boundaries are unobservable — no checkpoint, no stopping
+    rule, no [on_progress] hook and live streaming off — the runner
+    fuses the whole campaign into a single pool fan-out instead of one
+    per batch, amortising the per-map fan-out cost across the entire
+    run. The RNG split order and the sequential replication-order merge
+    are identical on both paths, so fusion never changes the result (a
+    property the tests assert byte-for-byte).
+
     Telemetry: the whole run executes under a [campaign.run] span; each
     replication runs under a [campaign.shard] span and its wall-clock
     seconds land in the [campaign.shard_seconds] histogram. The
@@ -42,6 +50,20 @@ type workload = {
           replications execute concurrently across domains. *)
 }
 
+type progress = {
+  completed : int;               (** replications accumulated so far *)
+  target : int;                  (** [config.replications] *)
+  elapsed_seconds : float;       (** since [run] started (this session;
+                                     excludes checkpointed work) *)
+  rate : float;                  (** replications per second this
+                                     session; 0 until measurable *)
+  max_half_width : float option; (** widest 95% CI half-width across
+                                     value metrics; [None] until some
+                                     metric has two samples *)
+  ci_target : float option;      (** [config.ci_target], for display *)
+  eta_seconds : float option;    (** remaining / rate *)
+}
+
 type config = {
   seed : int;            (** root of the substream tree *)
   replications : int;    (** target replication count, > 0 *)
@@ -57,13 +79,20 @@ type config = {
       (** absolute 95% half-width target: stop early once every value
           metric is at least this tight (checked at batch boundaries,
           after a minimum of 8 replications) *)
+  on_progress : (progress -> unit) option;
+      (** called on the campaign's domain at every batch boundary;
+          observation-only (must not mutate campaign state). With a
+          hook installed — or the live {!Telemetry.Stream} enabled —
+          the runner also emits a [campaign:<workload>] progress event
+          and pulses the live writer per batch. *)
 }
 
 val default_config :
   ?seed:int -> ?domains:int -> ?batch:int -> ?checkpoint:string ->
-  ?resume:bool -> ?ci_target:float -> replications:int -> unit -> config
+  ?resume:bool -> ?ci_target:float -> ?on_progress:(progress -> unit) ->
+  replications:int -> unit -> config
 (** Defaults: [seed = 42], [domains = 1], [batch = 32], no checkpoint,
-    no resume, no stopping rule. *)
+    no resume, no stopping rule, no progress hook. *)
 
 type summary = {
   count : int;

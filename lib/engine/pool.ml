@@ -62,6 +62,15 @@ let ensure_workers n =
   done;
   Mutex.unlock pool_lock
 
+let prewarm ?domains () =
+  let d =
+    match domains with
+    | Some d when d < 1 -> invalid_arg "Engine.Pool.prewarm: domains < 1"
+    | Some d -> d
+    | None -> default_domains ()
+  in
+  if d > 1 then ensure_workers (d - 1)
+
 (* Wall time per executed chunk (caller's and workers'); parallel maps
    only, so an empty histogram means every map ran sequentially. *)
 let chunk_seconds = Telemetry.Metrics.histogram "engine.pool.chunk_seconds"

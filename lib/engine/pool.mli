@@ -38,6 +38,13 @@ val set_default_domains : int -> unit
 
 val default_domains : unit -> int
 
+val prewarm : ?domains:int -> unit -> unit
+(** Spawn the worker domains a map on [domains] (default: the current
+    default) would use, without running anything — so the first
+    parallel map of a timed phase doesn't pay the ~1 ms/domain spawn
+    cost. A no-op for [domains <= 1]. Raises [Invalid_argument] when
+    [domains < 1]. *)
+
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~domains f items] is [List.map f items] evaluated on up to
     [domains] domains. The first exception raised by any chunk is

@@ -113,14 +113,19 @@ let parse input =
     else fail (Printf.sprintf "expected %s" word)
   in
   let add_utf8 buf code =
-    (* encode a BMP code point; good enough for the files we produce *)
     if code < 0x80 then Buffer.add_char buf (Char.chr code)
     else if code < 0x800 then begin
       Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
       Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
     end
-    else begin
+    else if code < 0x10000 then begin
       Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
     end
@@ -147,12 +152,47 @@ let parse input =
          | 'r' -> Buffer.add_char buf '\r'
          | 't' -> Buffer.add_char buf '\t'
          | 'u' ->
-           if !pos + 4 > n then fail "truncated \\u escape";
-           let hex = String.sub input !pos 4 in
-           pos := !pos + 4;
+           (* exactly four hex digits ([int_of_string "0x…"] would also
+              accept underscores and sign characters) *)
+           let read_hex4 () =
+             if !pos + 4 > n then fail "truncated \\u escape";
+             let v = ref 0 in
+             for _ = 1 to 4 do
+               let d =
+                 match input.[!pos] with
+                 | '0' .. '9' as c -> Char.code c - Char.code '0'
+                 | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                 | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                 | _ -> fail "bad \\u escape"
+               in
+               v := (!v lsl 4) lor d;
+               advance ()
+             done;
+             !v
+           in
+           let code = read_hex4 () in
            let code =
-             try int_of_string ("0x" ^ hex)
-             with _ -> fail "bad \\u escape"
+             (* a high surrogate followed by [\uDC00-\uDFFF] combines
+                into one supplementary code point (so "😀" is
+                U+1F600); a lone surrogate stays as-is (WTF-8), matching
+                the parser's otherwise lenient handling of raw bytes *)
+             if
+               code >= 0xD800 && code <= 0xDBFF
+               && !pos + 1 < n
+               && input.[!pos] = '\\'
+               && input.[!pos + 1] = 'u'
+             then begin
+               let saved = !pos in
+               pos := !pos + 2;
+               let low = read_hex4 () in
+               if low >= 0xDC00 && low <= 0xDFFF then
+                 0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+               else begin
+                 pos := saved;
+                 code
+               end
+             end
+             else code
            in
            add_utf8 buf code
          | _ -> fail "unknown escape");
@@ -167,6 +207,11 @@ let parse input =
   in
   let parse_number () =
     let start = !pos in
+    (* a JSON number starts with '-' or a digit; '+', '.', 'e' may only
+       appear later (OCaml's [of_string] would accept "+1" and ".5") *)
+    (match peek () with
+    | Some ('-' | '0' .. '9') -> ()
+    | _ -> fail "expected a value");
     let numchar c =
       match c with
       | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true

@@ -21,10 +21,15 @@ val to_string_pretty : t -> string
 (** Two-space-indented rendering (what the CLI writes to files). *)
 
 val parse : string -> (t, string) result
-(** Strict parser for the grammar [to_string] emits, plus standard JSON
-    it does not (escapes, [\uXXXX], exponents). On failure the [Error]
-    carries a message with a byte offset. Numbers without [.], [e] or
-    [E] parse as [Int] when they fit, [Float] otherwise. *)
+(** Parser for the grammar [to_string] emits, plus standard JSON it
+    does not: all simple escapes, [\uXXXX] with exactly four hex
+    digits (surrogate pairs combine into one supplementary code point,
+    encoded as 4-byte UTF-8; a lone surrogate is kept as-is, WTF-8
+    style), and exponent literals. Numbers must start with ['-'] or a
+    digit; those without [.], [e] or [E] parse as [Int] when they fit,
+    [Float] otherwise. On failure the [Error] carries a message with a
+    byte offset. Strings parsed from [to_string] output round-trip
+    exactly (the property tests assert parse∘print identity). *)
 
 val member : string -> t -> t option
 (** [member key json] is the field [key] of an [Obj], [None] otherwise. *)

@@ -1,0 +1,353 @@
+(* Fold [bidir-live/1] records into a dashboard state. The renderer
+   deliberately uses only timestamps carried by the file, so the same
+   file always renders the same frame — `bidir top --once` output is
+   diffable in CI. *)
+
+type progress = {
+  pr_t : float;
+  pr_name : string;
+  pr_completed : int;
+  pr_total : int;
+  pr_rate : float;
+  pr_ci : float option;
+  pr_ci_target : float option;
+  pr_eta : float option;
+}
+
+type digest = {
+  di_count : int;
+  di_sum : float;
+  di_p50 : float;
+  di_p90 : float;
+  di_p99 : float;
+}
+
+type state = {
+  mutable schema : string option;
+  mutable started_at : float option;
+  mutable last_t : float;
+  mutable heartbeats : int;
+  mutable last_seq : int;
+  mutable finished : bool;
+  mutable dropped : int;
+  mutable records : int;
+  mutable parse_errors : int;
+  mutable monotone : bool;
+  mutable progress : progress option;
+  counters : (string, int) Hashtbl.t;
+  digests : (string, digest) Hashtbl.t;
+  mutable warnings : (float * string * string) list;  (* newest first *)
+}
+
+let max_warnings = 8
+
+let create () =
+  { schema = None;
+    started_at = None;
+    last_t = 0.;
+    heartbeats = 0;
+    last_seq = 0;
+    finished = false;
+    dropped = 0;
+    records = 0;
+    parse_errors = 0;
+    monotone = true;
+    progress = None;
+    counters = Hashtbl.create 32;
+    digests = Hashtbl.create 16;
+    warnings = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Folding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let num = function
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let integer = function Some (Json.Int i) -> Some i | _ -> None
+let str = function Some (Json.String s) -> Some s | _ -> None
+
+let fnum ?(default = 0.) j k = Option.value ~default (num (Json.member k j))
+let fint ?(default = 0) j k = Option.value ~default (integer (Json.member k j))
+
+let opt_num j k = num (Json.member k j)
+
+let digest_of_json j =
+  { di_count = fint j "count";
+    di_sum = fnum j "sum";
+    di_p50 = fnum j "p50";
+    di_p90 = fnum j "p90";
+    di_p99 = fnum j "p99";
+  }
+
+let feed_record st j =
+  st.records <- st.records + 1;
+  (match opt_num j "t" with
+  | Some t -> st.last_t <- Float.max st.last_t t
+  | None -> ());
+  match str (Json.member "record" j) with
+  | Some "start" ->
+    st.schema <- str (Json.member "schema" j);
+    st.started_at <- opt_num j "t"
+  | Some "progress" ->
+    let p =
+      { pr_t = fnum j "t";
+        pr_name = Option.value ~default:"" (str (Json.member "name" j));
+        pr_completed = fint j "completed";
+        pr_total = fint j "total";
+        pr_rate = fnum j "rate";
+        pr_ci = opt_num j "ci";
+        pr_ci_target = opt_num j "ci_target";
+        pr_eta = opt_num j "eta";
+      }
+    in
+    (match st.progress with
+    | Some prev when prev.pr_name = p.pr_name && p.pr_completed < prev.pr_completed ->
+      st.monotone <- false
+    | _ -> ());
+    st.progress <- Some p
+  | Some "log" ->
+    let level = Option.value ~default:"info" (str (Json.member "level" j)) in
+    if level = "warn" || level = "error" then begin
+      let msg = Option.value ~default:"" (str (Json.member "msg" j)) in
+      st.warnings <-
+        (fnum j "t", level, msg)
+        :: (if List.length st.warnings >= max_warnings then
+              List.filteri (fun i _ -> i < max_warnings - 1) st.warnings
+            else st.warnings)
+    end
+  | Some "counter" -> (
+    match str (Json.member "name" j) with
+    | Some name ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt st.counters name) in
+      Hashtbl.replace st.counters name (prev + fint j "delta")
+    | None -> ())
+  | Some "digest" -> (
+    match str (Json.member "name" j) with
+    | Some name -> Hashtbl.replace st.digests name (digest_of_json j)
+    | None -> ())
+  | Some "heartbeat" ->
+    st.heartbeats <- st.heartbeats + 1;
+    let seq = fint j "seq" in
+    if seq <= st.last_seq then st.monotone <- false;
+    st.last_seq <- seq;
+    (match Json.member "counters" j with
+    | Some (Json.Obj fields) ->
+      List.iter
+        (fun (name, v) ->
+          match v with
+          | Json.Int d ->
+            let prev =
+              Option.value ~default:0 (Hashtbl.find_opt st.counters name)
+            in
+            Hashtbl.replace st.counters name (prev + d)
+          | _ -> ())
+        fields
+    | _ -> ());
+    (match Json.member "histograms" j with
+    | Some (Json.Obj fields) ->
+      List.iter
+        (fun (name, v) -> Hashtbl.replace st.digests name (digest_of_json v))
+        fields
+    | _ -> ())
+  | Some "final" ->
+    st.finished <- true;
+    st.dropped <- fint j "dropped_events"
+  | _ -> () (* unknown record types: forward compatibility *)
+
+let feed_line st line =
+  let line = String.trim line in
+  if line <> "" then
+    match Json.parse line with
+    | Ok j -> feed_record st j
+    | Error _ -> st.parse_errors <- st.parse_errors + 1
+
+let feed_string st text = List.iter (feed_line st) (String.split_on_char '\n' text)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let schema st = st.schema
+let started_at st = st.started_at
+let last_t st = st.last_t
+
+let elapsed st =
+  match st.started_at with
+  | Some t0 -> Float.max 0. (st.last_t -. t0)
+  | None -> 0.
+
+let heartbeats st = st.heartbeats
+let finished st = st.finished
+let dropped st = st.dropped
+let records st = st.records
+let parse_errors st = st.parse_errors
+let monotone st = st.monotone
+let progress st = st.progress
+
+let sorted tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters st = sorted st.counters
+let digests st = sorted st.digests
+let warnings st = st.warnings
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bar frac width =
+  let frac = Float.max 0. (Float.min 1. frac) in
+  let k = int_of_float ((frac *. float_of_int width) +. 0.5) in
+  String.make k '#' ^ String.make (width - k) '.'
+
+let seconds s =
+  if s >= 3600. then Printf.sprintf "%.1f h" (s /. 3600.)
+  else if s >= 60. then Printf.sprintf "%.1f min" (s /. 60.)
+  else Printf.sprintf "%.1f s" s
+
+(* the latency table: every *_seconds digest except the pool busy/idle
+   pair (rendered as their own utilization line) *)
+let pool_busy = "engine.pool.busy_seconds"
+let pool_idle = "engine.pool.idle_seconds"
+
+let is_latency name =
+  let suffix = "_seconds" in
+  String.length name >= String.length suffix
+  && String.sub name
+       (String.length name - String.length suffix)
+       (String.length suffix)
+     = suffix
+  && name <> pool_busy && name <> pool_idle
+
+let render st =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "bidir live %s— %d heartbeats, %d records, %d dropped%s%s"
+    (match st.schema with Some s -> Printf.sprintf "(%s) " s | None -> "")
+    st.heartbeats st.records st.dropped
+    (if st.parse_errors > 0 then
+       Printf.sprintf ", %d unparseable lines" st.parse_errors
+     else "")
+    (if st.finished then " — finished" else " — running");
+  line "elapsed     %s" (seconds (elapsed st));
+  (match st.progress with
+  | None -> line "progress    (none yet)"
+  | Some p ->
+    let pct =
+      if p.pr_total > 0 then
+        100. *. float_of_int p.pr_completed /. float_of_int p.pr_total
+      else 0.
+    in
+    line "progress    %s  %d/%d (%.1f%%)" p.pr_name p.pr_completed p.pr_total
+      pct;
+    line "            [%s]"
+      (bar (float_of_int p.pr_completed /. float_of_int (max 1 p.pr_total)) 40);
+    line "throughput  %.2f/s%s" p.pr_rate
+      (match p.pr_eta with
+      | Some eta -> Printf.sprintf "   eta %s" (seconds eta)
+      | None -> "");
+    match p.pr_ci with
+    | Some hw ->
+      line "ci          half-width %.6g%s" hw
+        (match p.pr_ci_target with
+        | Some t -> Printf.sprintf " (target %.6g)" t
+        | None -> "")
+    | None -> ());
+  let ds = digests st in
+  let latencies = List.filter (fun (n, _) -> is_latency n) ds in
+  if latencies <> [] then begin
+    line "latencies   %-34s %8s %10s %10s %10s" "" "n" "p50" "p90" "p99";
+    List.iter
+      (fun (name, d) ->
+        line "            %-34s %8d %10.3g %10.3g %10.3g" name d.di_count
+          d.di_p50 d.di_p90 d.di_p99)
+      latencies
+  end;
+  (match (List.assoc_opt pool_busy ds, List.assoc_opt pool_idle ds) with
+  | Some busy, Some idle ->
+    let total = busy.di_sum +. idle.di_sum in
+    line "pool        busy %s, idle %s%s" (seconds busy.di_sum)
+      (seconds idle.di_sum)
+      (if total > 0. then
+         Printf.sprintf " (%.1f%% idle)" (100. *. idle.di_sum /. total)
+       else "")
+  | _ -> ());
+  let counter name = Option.value ~default:0 (Hashtbl.find_opt st.counters name) in
+  let alloc = counter "gc.alloc_bytes" in
+  let minor = counter "gc.minor_collections" in
+  let major = counter "gc.major_collections" in
+  if alloc > 0 || minor > 0 || major > 0 then
+    line "gc          alloc %.1f MB, minor %d, major %d"
+      (float_of_int alloc /. 1e6)
+      minor major;
+  (match warnings st with
+  | [] -> line "warnings    (none)"
+  | ws ->
+    line "warnings    (%d recent)" (List.length ws);
+    List.iter
+      (fun (t, level, msg) ->
+        line "  %s [%s] %s"
+          (match st.started_at with
+          | Some t0 -> Printf.sprintf "%8.1fs" (Float.max 0. (t -. t0))
+          | None -> Printf.sprintf "%8.1fs" t)
+          level msg)
+      ws);
+  Buffer.contents b
+
+let to_json st =
+  let opt f = function None -> Json.Null | Some v -> f v in
+  Json.Obj
+    [ ("schema", opt (fun s -> Json.String s) st.schema);
+      ("started_at", opt (fun t -> Json.Float t) st.started_at);
+      ("last_t", Json.Float st.last_t);
+      ("elapsed", Json.Float (elapsed st));
+      ("heartbeats", Json.Int st.heartbeats);
+      ("records", Json.Int st.records);
+      ("parse_errors", Json.Int st.parse_errors);
+      ("finished", Json.Bool st.finished);
+      ("monotone", Json.Bool st.monotone);
+      ("dropped_events", Json.Int st.dropped);
+      ( "progress",
+        opt
+          (fun p ->
+            Json.Obj
+              [ ("name", Json.String p.pr_name);
+                ("completed", Json.Int p.pr_completed);
+                ("total", Json.Int p.pr_total);
+                ("rate", Json.Float p.pr_rate);
+                ("ci", opt (fun f -> Json.Float f) p.pr_ci);
+                ("ci_target", opt (fun f -> Json.Float f) p.pr_ci_target);
+                ("eta", opt (fun f -> Json.Float f) p.pr_eta);
+              ])
+          st.progress );
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters st)) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (k, d) ->
+               ( k,
+                 Json.Obj
+                   [ ("count", Json.Int d.di_count);
+                     ("sum", Json.Float d.di_sum);
+                     ("p50", Json.Float d.di_p50);
+                     ("p90", Json.Float d.di_p90);
+                     ("p99", Json.Float d.di_p99);
+                   ] ))
+             (digests st)) );
+      ( "warnings",
+        Json.List
+          (List.map
+             (fun (t, level, msg) ->
+               Json.Obj
+                 [ ("t", Json.Float t);
+                   ("level", Json.String level);
+                   ("msg", Json.String msg);
+                 ])
+             (warnings st)) );
+    ]

@@ -1,0 +1,85 @@
+(** Reader side of the [bidir-live/1] live-file schema: parse, fold
+    and render — the engine behind [bidir top].
+
+    A {!state} folds live-file lines in order: heartbeat counter
+    deltas sum into running totals, histogram digests replace the
+    previous cumulative digest, the latest progress record wins, and
+    warn/error log records accumulate into a bounded recent-warnings
+    list. Unknown record types are skipped (forward compatibility);
+    unparseable lines are counted, not fatal.
+
+    {!render} and {!to_json} are pure functions of the state — all
+    timing comes from the file's own timestamps, never the wall clock
+    — so [bidir top --once] produces a deterministic frame for CI. *)
+
+type state
+
+type progress = {
+  pr_t : float;
+  pr_name : string;
+  pr_completed : int;
+  pr_total : int;
+  pr_rate : float;
+  pr_ci : float option;
+  pr_ci_target : float option;
+  pr_eta : float option;
+}
+
+type digest = {
+  di_count : int;
+  di_sum : float;
+  di_p50 : float;
+  di_p90 : float;
+  di_p99 : float;
+}
+
+val create : unit -> state
+
+val feed_line : state -> string -> unit
+(** Fold one line (blank lines are skipped). *)
+
+val feed_string : state -> string -> unit
+(** Fold every line of a chunk of file contents. *)
+
+val schema : state -> string option
+(** The schema declared by the [start] record, once seen. *)
+
+val started_at : state -> float option
+val last_t : state -> float
+val elapsed : state -> float
+(** [last_t - started_at]; 0 before the start record. *)
+
+val heartbeats : state -> int
+val finished : state -> bool
+(** The [final] record has been seen. *)
+
+val dropped : state -> int
+(** Dropped-event count from the [final] record (0 until then). *)
+
+val records : state -> int
+(** Lines parsed successfully. *)
+
+val parse_errors : state -> int
+
+val monotone : state -> bool
+(** No progress record ever went backwards and heartbeat sequence
+    numbers strictly increased — the invariants CI validates. *)
+
+val progress : state -> progress option
+val counters : state -> (string * int) list
+(** Name-sorted running totals of the heartbeat counter deltas. *)
+
+val digests : state -> (string * digest) list
+(** Name-sorted latest cumulative digests. *)
+
+val warnings : state -> (float * string * string) list
+(** Most recent warn/error records, newest first, capped at 8:
+    [(t, level, message)]. *)
+
+val render : state -> string
+(** Multi-line dashboard frame: progress bar + ETA, throughput, CI
+    half-width vs target, latency digests, pool busy/idle, GC totals,
+    recent warnings. Deterministic for a given file. *)
+
+val to_json : state -> Json.t
+(** The same frame as a JSON object (for [bidir top --once --json]). *)

@@ -1,0 +1,218 @@
+type level = Stream.level = Debug | Info | Warn | Error
+
+let rank = Stream.level_rank
+
+(* minimum rank emitted at all / rendered on stderr (4 = stderr off) *)
+let min_rank = Atomic.make (rank Info)
+let stderr_rank = Atomic.make (rank Warn)
+
+let set_level l = Atomic.set min_rank (rank l)
+
+let level () =
+  match Atomic.get min_rank with
+  | 0 -> Debug
+  | 1 -> Info
+  | 2 -> Warn
+  | _ -> Error
+
+let set_stderr = function
+  | None -> Atomic.set stderr_rank 4
+  | Some l -> Atomic.set stderr_rank (rank l)
+
+let debug_c = Metrics.counter "telemetry.log.debug"
+let info_c = Metrics.counter "telemetry.log.info"
+let warn_c = Metrics.counter "telemetry.log.warn"
+let error_c = Metrics.counter "telemetry.log.error"
+let suppressed_c = Metrics.counter "telemetry.log.suppressed"
+
+let level_counter = function
+  | Debug -> debug_c
+  | Info -> info_c
+  | Warn -> warn_c
+  | Error -> error_c
+
+(* Per-callsite rate limiting: last emission time per key. The table is
+   shared across domains, so guard it — logging is never on a path hot
+   enough for this mutex to matter (the unlimited case skips it). *)
+let rate_lock = Mutex.create ()
+let last_emitted : (string, float) Hashtbl.t = Hashtbl.create 32
+
+let rate_allow ~rate key now =
+  Mutex.lock rate_lock;
+  let allowed =
+    match Hashtbl.find_opt last_emitted key with
+    | Some last when now -. last < rate -> false
+    | _ ->
+      Hashtbl.replace last_emitted key now;
+      true
+  in
+  Mutex.unlock rate_lock;
+  allowed
+
+let span_path () = String.concat "/" (List.rev (Span.context ()))
+
+let emit_record ?rate ?key lvl msg =
+  if rank lvl >= Atomic.get min_rank then begin
+    let now = Unix.gettimeofday () in
+    let allowed =
+      match rate with
+      | None -> true
+      | Some r -> rate_allow ~rate:r (Option.value ~default:msg key) now
+    in
+    if not allowed then Metrics.incr suppressed_c
+    else begin
+      Metrics.incr (level_counter lvl);
+      let span = span_path () in
+      if rank lvl >= Atomic.get stderr_rank then
+        Printf.eprintf "[%s] %s%s\n%!" (Stream.level_name lvl)
+          (if span = "" then "" else span ^ ": ")
+          msg;
+      ignore
+        (Stream.emit
+           (Stream.Log
+              { Stream.l_t = now;
+                l_level = lvl;
+                l_msg = msg;
+                l_span = span;
+                l_domain = (Domain.self () :> int);
+              })
+          : bool)
+    end
+  end
+
+let logf ?rate ?key lvl fmt =
+  Printf.ksprintf (emit_record ?rate ?key lvl) fmt
+
+let debug ?rate ?key fmt = logf ?rate ?key Debug fmt
+let info ?rate ?key fmt = logf ?rate ?key Info fmt
+let warn ?rate ?key fmt = logf ?rate ?key Warn fmt
+let error ?rate ?key fmt = logf ?rate ?key Error fmt
+
+(* ------------------------------------------------------------------ *)
+(* SLO watchdog                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type stat = Value | Sum | Mean | Count | P50 | P90 | P99
+
+let stat_name = function
+  | Value -> "value"
+  | Sum -> "sum"
+  | Mean -> "mean"
+  | Count -> "count"
+  | P50 -> "p50"
+  | P90 -> "p90"
+  | P99 -> "p99"
+
+let stat_of_name = function
+  | "value" -> Some Value
+  | "sum" -> Some Sum
+  | "mean" -> Some Mean
+  | "count" -> Some Count
+  | "p50" -> Some P50
+  | "p90" -> Some P90
+  | "p99" -> Some P99
+  | _ -> None
+
+type slo = {
+  slo_metric : string;
+  slo_stat : stat;
+  slo_warn : float;
+  slo_error : float option;
+}
+
+let parse_slo s =
+  match String.split_on_char ':' s with
+  | [ metric; stat; warn ] | [ metric; stat; warn; _ ]
+    when metric = "" || stat = "" || warn = "" ->
+    Stdlib.Error (Printf.sprintf "empty field in SLO %S" s)
+  | [ metric; stat; warn ] | [ metric; stat; warn; _ ]
+    when stat_of_name stat = None ->
+    ignore metric;
+    ignore warn;
+    Error
+      (Printf.sprintf "unknown stat %S (value|sum|mean|count|p50|p90|p99)"
+         stat)
+  | [ metric; stat; warn ] -> (
+    match (stat_of_name stat, float_of_string_opt warn) with
+    | Some st, Some w ->
+      Ok { slo_metric = metric; slo_stat = st; slo_warn = w; slo_error = None }
+    | _ -> Stdlib.Error (Printf.sprintf "bad threshold in SLO %S" s))
+  | [ metric; stat; warn; err ] -> (
+    match
+      (stat_of_name stat, float_of_string_opt warn, float_of_string_opt err)
+    with
+    | Some st, Some w, Some e ->
+      Ok
+        { slo_metric = metric;
+          slo_stat = st;
+          slo_warn = w;
+          slo_error = Some e;
+        }
+    | _ -> Stdlib.Error (Printf.sprintf "bad threshold in SLO %S" s))
+  | _ ->
+    Stdlib.Error
+      (Printf.sprintf "SLO %S is not metric:stat:warn[:error]" s)
+
+let installed : slo list ref = ref []
+
+(* last observed severity per SLO (0 ok, 1 warn, 2 error): only
+   transitions produce records, so a persistent breach logs once *)
+let breach_state : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let set_slos l =
+  installed := l;
+  Hashtbl.reset breach_state
+
+let slos () = !installed
+
+let current_value slo =
+  match
+    List.find_opt (fun (n, _) -> n = slo.slo_metric) (Metrics.counters ())
+  with
+  | Some (_, v) -> (
+    match slo.slo_stat with
+    | Value | Sum | Count -> Some (float_of_int v)
+    | Mean | P50 | P90 | P99 -> None)
+  | None -> (
+    match
+      List.find_opt (fun (n, _) -> n = slo.slo_metric) (Metrics.histograms ())
+    with
+    | None -> None
+    | Some (_, h) ->
+      if Histogram.count h = 0 then None
+      else
+        Some
+          (match slo.slo_stat with
+          | Value | Sum -> Histogram.sum h
+          | Mean -> Histogram.mean h
+          | Count -> float_of_int (Histogram.count h)
+          | P50 -> Histogram.quantile h 0.5
+          | P90 -> Histogram.quantile h 0.9
+          | P99 -> Histogram.quantile h 0.99))
+
+let watch () =
+  List.iter
+    (fun slo ->
+      match current_value slo with
+      | None -> ()
+      | Some v ->
+        let severity =
+          if (match slo.slo_error with Some e -> v >= e | None -> false) then 2
+          else if v >= slo.slo_warn then 1
+          else 0
+        in
+        let key = slo.slo_metric ^ ":" ^ stat_name slo.slo_stat in
+        let prev = Option.value ~default:0 (Hashtbl.find_opt breach_state key) in
+        if severity <> prev then begin
+          Hashtbl.replace breach_state key severity;
+          match severity with
+          | 2 ->
+            error "slo %s = %g breaches error threshold %g" key v
+              (Option.value ~default:nan slo.slo_error)
+          | 1 -> warn "slo %s = %g exceeds warn threshold %g" key v slo.slo_warn
+          | _ -> info "slo %s recovered (%g)" key v
+        end)
+    !installed
+
+(* every [Stream.pulse_live] evaluates the watchdog *)
+let () = Stream.set_pulse_hook watch

@@ -1,0 +1,81 @@
+(** Structured leveled logging over the telemetry plane.
+
+    Every record carries its level, the current {!Span.context} path
+    (root-first, "/"-joined — populated while tracing is on) and the id
+    of the emitting domain. Records below {!level} are discarded at the
+    callsite; surviving records go to two sinks: a text line on stderr
+    (for records at or above the stderr threshold) and a {!Stream.Log}
+    event on the live stream when streaming is on — so a tailing
+    [bidir top] sees warnings as they happen.
+
+    Per-callsite rate limiting: passing [~rate:s] (with an optional
+    explicit [~key]; the message itself is the key by default) drops
+    repeats of the same key arriving within [s] seconds, counting them
+    in [telemetry.log.suppressed] instead of emitting. Hot loops can
+    therefore log unconditionally.
+
+    The SLO watchdog turns registry thresholds into log records:
+    {!set_slos} installs a list of [metric, stat, warn, error?]
+    tuples, and {!watch} — run automatically on every
+    {!Stream.pulse_live} — evaluates each against the live registry,
+    emitting a warn/error record when a threshold is first breached
+    and an info record when the metric recovers. Only {e transitions}
+    log, so a persistently-breached SLO does not spam the stream. *)
+
+type level = Stream.level = Debug | Info | Warn | Error
+
+val set_level : level -> unit
+(** Minimum level that gets emitted at all (default [Info]). *)
+
+val level : unit -> level
+
+val set_stderr : level option -> unit
+(** Minimum level rendered as a text line on stderr, or [None] to
+    silence the stderr sink entirely (default [Some Warn]). *)
+
+val logf :
+  ?rate:float -> ?key:string -> level ->
+  ('a, unit, string, unit) format4 -> 'a
+(** [logf ~rate ~key lvl fmt …] formats and emits one record. With
+    [rate], repeats of [key] (default: the formatted message) within
+    [rate] seconds are suppressed and counted. *)
+
+val debug : ?rate:float -> ?key:string -> ('a, unit, string, unit) format4 -> 'a
+val info : ?rate:float -> ?key:string -> ('a, unit, string, unit) format4 -> 'a
+val warn : ?rate:float -> ?key:string -> ('a, unit, string, unit) format4 -> 'a
+val error : ?rate:float -> ?key:string -> ('a, unit, string, unit) format4 -> 'a
+
+(* ------------------------------------------------------------------ *)
+(* SLO watchdog                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type stat = Value | Sum | Mean | Count | P50 | P90 | P99
+(** Which statistic of the metric to compare. [Value]/[Sum] read a
+    counter's value or a histogram's sum; the rest are histogram-only
+    ([Value] on a histogram also reads its sum). *)
+
+val stat_name : stat -> string
+val stat_of_name : string -> stat option
+
+type slo = {
+  slo_metric : string;       (** registry name, e.g. [lp.solve_seconds] *)
+  slo_stat : stat;
+  slo_warn : float;          (** warn at or above this *)
+  slo_error : float option;  (** escalate to error at or above this *)
+}
+
+val parse_slo : string -> (slo, string) result
+(** ["metric:stat:warn"] or ["metric:stat:warn:error"] — e.g.
+    ["campaign.pool_idle_seconds:sum:5"],
+    ["lp.solve_seconds:p99:0.05:0.5"]. *)
+
+val set_slos : slo list -> unit
+(** Replace the installed SLOs and forget previous breach states. *)
+
+val slos : unit -> slo list
+
+val watch : unit -> unit
+(** Evaluate every installed SLO against the registry and log breach /
+    recovery transitions. A metric that is absent (or an empty
+    histogram) is skipped. Installed as the {!Stream} pulse hook, so
+    it runs on every {!Stream.pulse_live}. *)

@@ -124,14 +124,24 @@ let time_metric name =
    distribution without regressing anything. *)
 let budget_counters =
   [ "linprog.pivots"; "linprog.refactor_eliminations";
-    "network.assignment_pivots"; "linprog.alloc_bytes" ]
+    "network.assignment_pivots"; "linprog.alloc_bytes";
+    (* live streaming must never lose events on the check workload:
+       0 = 0 passes, and any drop regresses one-sided *)
+    "telemetry.stream.dropped_events" ]
 
 (* Informational distributions: per-solve pivot histograms (the budget
    counters already gate their totals) and the pool's per-map
    chunk-balance ratio (pure scheduling noise). *)
 let ignored_histograms =
   [ "linprog.pivots_per_solve"; "linprog.pivots_per_warm_solve";
-    "engine.pool.chunk_imbalance" ]
+    "engine.pool.chunk_imbalance";
+    (* heartbeat flush timing: pure wall-clock noise whose sample count
+       tracks the heartbeat schedule, not the computation *)
+    "telemetry.stream.flush_seconds" ]
+
+(* Counters whose value depends on wall-clock timing rather than the
+   computation (rate-limiter suppression counts). *)
+let ignored_counters = [ "telemetry.log.suppressed" ]
 
 (* Seconds-valued resource budgets: gated one-sided on their sum, like
    Budget counters, but with slack for scheduler noise. Checked before
@@ -147,6 +157,7 @@ let default_policy ?(tolerance = 0.5) () : policy =
   match kind with
   | `Counter ->
     if List.mem name budget_counters then Budget
+    else if List.mem name ignored_counters then Ignore
       (* gc.* totals move with any code change — unactionable across
          commits; linprog.alloc_bytes above is the gated slice *)
     else if prefix "gc." then Ignore

@@ -1,0 +1,175 @@
+(** Live telemetry streaming: a bounded MPSC ring of telemetry events
+    drained into an append-only JSONL "live file" by periodic
+    heartbeats.
+
+    Everything observability produced so far (spans, snapshots,
+    flamegraphs, resource deltas) materialises only after a command
+    exits; this module is the in-flight plane. Producers on any domain
+    {!emit} events — progress records, log records, ad-hoc counter
+    deltas and histogram digests — into a lock-free bounded ring.
+    Emission is gated like {!Resource}: while streaming is off it costs
+    a single atomic load, so instrumentation can stay permanently in
+    hot paths. When the ring is full the event is dropped and counted
+    ([telemetry.stream.dropped_events]) rather than blocking a
+    producer.
+
+    A {!Writer} drains the ring into a JSONL file under the
+    [bidir-live/1] schema. The file starts with a [start] record, then
+    carries event records interleaved with [heartbeat] records, and
+    ends with a [final] flush record. Each heartbeat serialises the
+    metrics registry as {e deltas against the previous heartbeat}
+    (changed counters only; cumulative digests of histograms whose
+    count moved), so the file stays small however long the run is.
+    Streaming is observation-only: command outputs are byte-identical
+    with it on or off, at any domain count.
+
+    Record shapes (one JSON object per line):
+    {v
+    {"schema":"bidir-live/1","record":"start","t":T,"interval":S}
+    {"record":"progress","t":T,"name":N,"completed":C,"total":M,
+     "rate":R,"ci":HW|null,"ci_target":W|null,"eta":E|null}
+    {"record":"log","t":T,"level":L,"msg":S,"span":P,"domain":D}
+    {"record":"counter","t":T,"name":N,"delta":D}
+    {"record":"digest","t":T,"name":N,"count":C,"sum":S,
+     "p50":A,"p90":B,"p99":C}
+    {"record":"heartbeat","t":T,"seq":K,"counters":{name:delta,...},
+     "histograms":{name:{"count","sum","p50","p90","p99"},...}}
+    {"record":"final","t":T,"heartbeats":K,"events":N,
+     "dropped_events":D}
+    v} *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+val level_of_name : string -> level option
+
+val level_rank : level -> int
+(** Debug = 0 … Error = 3. *)
+
+type progress = {
+  p_t : float;                     (** absolute unix time *)
+  p_name : string;                 (** "campaign", "figures", … *)
+  p_completed : int;
+  p_total : int;
+  p_rate : float;                  (** units per second; 0 when unknown *)
+  p_ci_half_width : float option;  (** widest 95% half-width so far *)
+  p_ci_target : float option;
+  p_eta_seconds : float option;
+}
+
+type logrec = {
+  l_t : float;
+  l_level : level;
+  l_msg : string;
+  l_span : string;  (** "/"-joined span path, [""] outside any span *)
+  l_domain : int;
+}
+
+type event =
+  | Progress of progress
+  | Log of logrec
+  | Counter_delta of { cd_t : float; cd_name : string; cd_delta : int }
+  | Digest of {
+      dg_t : float;
+      dg_name : string;
+      dg_count : int;
+      dg_sum : float;
+      dg_p50 : float;
+      dg_p90 : float;
+      dg_p99 : float;
+    }
+
+val event_to_json : event -> Json.t
+(** The event's live-file record (shapes above). *)
+
+(* ------------------------------------------------------------------ *)
+(* The ring                                                            *)
+(* ------------------------------------------------------------------ *)
+
+val capacity : int
+(** Ring size in events (8192). *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run the thunk with streaming forced on or off; the previous state
+    is restored afterwards, also on exceptions. *)
+
+val emit : event -> bool
+(** Push one event. [false] when streaming is off (no cost, nothing
+    counted) or when the ring was full (the event is dropped and
+    [telemetry.stream.dropped_events] incremented). Safe from any
+    domain; per-producer FIFO order is preserved. *)
+
+val note_progress :
+  name:string -> completed:int -> total:int -> ?rate:float ->
+  ?ci_half_width:float -> ?ci_target:float -> ?eta_seconds:float ->
+  unit -> unit
+(** Emit a {!Progress} event stamped with the current time. A no-op
+    while streaming is off. *)
+
+val drain : unit -> event list
+(** Pop every event currently in the ring, oldest first. Single
+    consumer only (the writer, or a test standing in for it); spins
+    briefly on a slot that a producer has claimed but not yet
+    written. *)
+
+val dropped_events : unit -> int
+(** Current value of the [telemetry.stream.dropped_events] counter. *)
+
+(* ------------------------------------------------------------------ *)
+(* The writer                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Writer : sig
+  type t
+
+  val create : ?interval:float -> path:string -> unit -> t
+  (** Truncate [path] and write the [start] record. [interval] (default
+      0) is the minimum seconds between heartbeats: {!pulse} before it
+      elapses is a no-op, and 0 means every pulse flushes. *)
+
+  val pulse : t -> unit
+  (** Heartbeat if the interval has elapsed since the last one. *)
+
+  val heartbeat : t -> unit
+  (** Unconditional flush: drain the ring, write the buffered event
+      records, then a [heartbeat] record carrying the registry delta
+      since the previous heartbeat, and flush the channel so a tailing
+      reader sees it. Observes [telemetry.stream.flush_seconds] and
+      increments [telemetry.stream.heartbeats]. *)
+
+  val heartbeats : t -> int
+
+  val close : t -> unit
+  (** Final flush (one last heartbeat) followed by the [final] record,
+      whose event/drop totals count from this writer's creation;
+      idempotent. *)
+end
+
+(* ------------------------------------------------------------------ *)
+(* The process-wide live writer                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** CLI convenience: one current writer wired by [--live FILE], pulsed
+    from instrumented layers (the campaign runner, [figures all], the
+    network solver) without threading a handle through them. Main
+    domain only. *)
+
+val open_live : ?interval:float -> string -> unit
+(** Close any current live writer, open a new one on this path and turn
+    streaming on. *)
+
+val live_path : unit -> string option
+
+val pulse_live : unit -> unit
+(** Run the pulse hook (the SLO watchdog installs itself there), then
+    pulse the current writer if any. Cheap when nothing is wired. *)
+
+val close_live : unit -> unit
+(** Close the current writer (final flush) and turn streaming off. *)
+
+val set_pulse_hook : (unit -> unit) -> unit
+(** Replace the hook run by every {!pulse_live}. {!Log} installs its
+    SLO watchdog here at module initialisation. *)

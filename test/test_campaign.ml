@@ -207,6 +207,105 @@ let test_ergodic_cross_check () =
   Alcotest.(check int) "block counter merged exactly" (24 * 60)
     (List.assoc "blocks" result.R.counters)
 
+(* ------------------------------------------------------------------ *)
+(* Progress hook and live streaming                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_progress_hook () =
+  let seen = ref [] in
+  let result =
+    R.run
+      (R.default_config ~seed:5 ~batch:16
+         ~on_progress:(fun p -> seen := p :: !seen)
+         ~replications:64 ())
+      synthetic
+  in
+  let calls = List.rev !seen in
+  Alcotest.(check int) "one call per batch" 4 (List.length calls);
+  Alcotest.(check (list int)) "completed counts at batch boundaries"
+    [ 16; 32; 48; 64 ]
+    (List.map (fun (p : R.progress) -> p.R.completed) calls);
+  List.iter
+    (fun (p : R.progress) ->
+      Alcotest.(check int) "target" 64 p.R.target;
+      Alcotest.(check bool) "elapsed >= 0" true (p.R.elapsed_seconds >= 0.);
+      Alcotest.(check bool) "rate >= 0" true (p.R.rate >= 0.);
+      Alcotest.(check (option (float 1e-9))) "no ci target configured" None
+        p.R.ci_target)
+    calls;
+  (* elapsed is monotone across batches, and the last ETA is zero *)
+  ignore
+    (List.fold_left
+       (fun prev (p : R.progress) ->
+         Alcotest.(check bool) "elapsed monotone" true
+           (p.R.elapsed_seconds >= prev);
+         p.R.elapsed_seconds)
+       0. calls
+      : float);
+  (match (List.nth calls 3).R.eta_seconds with
+  | Some eta -> Alcotest.(check (float 1e-9)) "final eta" 0. eta
+  | None -> Alcotest.fail "final progress lacks an eta");
+  Alcotest.(check int) "hook is observation-only" 64 result.R.completed
+
+(* The fused single-fan-out path (no hook, no checkpoint, no stopping
+   rule, streaming off) must produce the same bytes as the per-batch
+   path, at any domain count. *)
+let test_fused_path_byte_identical () =
+  let run ?on_progress domains =
+    render
+      (R.run
+         (R.default_config ~seed:23 ~domains ~batch:8 ?on_progress
+            ~replications:24 ())
+         (W.ergodic ~blocks_per_rep:30 ()))
+  in
+  let fused = run 1 in
+  Alcotest.(check string) "per-batch (hook) matches fused, 1 domain" fused
+    (run ~on_progress:(fun _ -> ()) 1);
+  Alcotest.(check string) "per-batch (hook) matches fused, 4 domains" fused
+    (run ~on_progress:(fun _ -> ()) 4);
+  Alcotest.(check string) "fused, 4 domains" fused (run 4)
+
+(* Live streaming on: the runner emits per-batch progress events and
+   heartbeats into the live file without changing the result. *)
+let test_streaming_byte_identical () =
+  let path = Filename.temp_file "campaign_live" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let run () =
+    render
+      (R.run (R.default_config ~seed:7 ~batch:16 ~replications:32 ())
+         synthetic)
+  in
+  let off = run () in
+  ignore (Telemetry.Stream.drain () : Telemetry.Stream.event list);
+  Telemetry.Stream.open_live ~interval:0. path;
+  let on = Fun.protect ~finally:Telemetry.Stream.close_live run in
+  Alcotest.(check string) "streaming is observation-only" off on;
+  let st = Telemetry.Live.create () in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          Telemetry.Live.feed_line st (input_line ic)
+        done
+      with End_of_file -> ());
+  Alcotest.(check (option string)) "live schema" (Some "bidir-live/1")
+    (Telemetry.Live.schema st);
+  Alcotest.(check bool) "one heartbeat per batch plus the close" true
+    (Telemetry.Live.heartbeats st >= 3);
+  Alcotest.(check bool) "monotone" true (Telemetry.Live.monotone st);
+  Alcotest.(check bool) "finished" true (Telemetry.Live.finished st);
+  match Telemetry.Live.progress st with
+  | Some p ->
+    Alcotest.(check string) "progress stream name" "campaign:synthetic"
+      p.Telemetry.Live.pr_name;
+    Alcotest.(check int) "ran to completion" 32
+      p.Telemetry.Live.pr_completed
+  | None -> Alcotest.fail "no progress in the live file"
+
 let suites =
   [ ( "campaign.determinism",
       [ Alcotest.test_case "byte-identical across domains" `Quick
@@ -227,5 +326,13 @@ let suites =
         Alcotest.test_case "summary shape" `Quick test_summary_shape;
         Alcotest.test_case "ergodic campaign matches analytic estimate"
           `Quick test_ergodic_cross_check;
+      ] );
+    ( "campaign.progress",
+      [ Alcotest.test_case "hook fires at batch boundaries" `Quick
+          test_progress_hook;
+        Alcotest.test_case "fused fan-out matches per-batch, domains 1/4"
+          `Quick test_fused_path_byte_identical;
+        Alcotest.test_case "live streaming is observation-only" `Quick
+          test_streaming_byte_identical;
       ] );
   ]

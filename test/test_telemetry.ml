@@ -599,6 +599,470 @@ let test_resource_byte_identity () =
   Alcotest.(check string) "tracking off: 4 domains = 1 domain" off1 off4
 
 (* ------------------------------------------------------------------ *)
+(* JSON: full escape set, surrogate pairs, exponents                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_escapes () =
+  (* a surrogate pair decodes to one astral code point (U+1F600) *)
+  (match J.parse "\"\\uD83D\\uDE00\"" with
+  | Ok (J.String s) ->
+    Alcotest.(check string) "astral plane" "\xf0\x9f\x98\x80" s
+  | Ok other -> Alcotest.failf "unexpected: %s" (J.to_string other)
+  | Error m -> Alcotest.failf "surrogate pair: %s" m);
+  (* the remaining simple escapes *)
+  (match J.parse "\"\\b\\f\\/\\r\"" with
+  | Ok (J.String s) -> Alcotest.(check string) "simple escapes" "\b\x0c/\r" s
+  | _ -> Alcotest.fail "simple escapes");
+  (* a lone high surrogate is tolerated (kept as its own code point)
+     rather than failing the whole live file *)
+  (match J.parse "\"a\\uD800b\"" with
+  | Ok (J.String s) ->
+    Alcotest.(check bool) "lone surrogate tolerated" true
+      (String.length s > 2)
+  | _ -> Alcotest.fail "lone surrogate");
+  (* exponents in every spelling *)
+  List.iter
+    (fun (src, expect) ->
+      match J.parse src with
+      | Ok (J.Float f) -> feq src expect f
+      | Ok (J.Int i) -> feq src expect (float_of_int i)
+      | _ -> Alcotest.failf "number %s" src)
+    [ ("1e3", 1000.); ("2.5E-2", 0.025); ("-1.25e+2", -125.);
+      ("0.0001", 0.0001) ];
+  (* malformed escapes and numbers fail cleanly *)
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Ok _ -> Alcotest.failf "expected failure on %S" s
+      | Error _ -> ())
+    [ "\"\\u12\""; "\"\\u1_23\""; "\"\\q\""; "+1"; ".5"; "1e"; "-" ]
+
+(* parse . print = id on arbitrary values: what live files rely on. *)
+let json_gen =
+  let open QCheck.Gen in
+  (* printable-plus-escapes strings; keep them short *)
+  let str =
+    string_size ~gen:
+      (oneof [ char_range 'a' 'z'; return '"'; return '\\'; return '\n';
+               return '\t'; return '\xc3' ])
+      (int_bound 8)
+  in
+  (* finite floats that round-trip: dyadic rationals scaled by 2^k *)
+  let fin_float =
+    map2 (fun m k -> ldexp (float_of_int m) (k - 20))
+      (int_range (-10000) 10000) (int_bound 40)
+  in
+  sized_size (int_bound 4) @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [ return J.Null; map (fun b -> J.Bool b) bool;
+            map (fun i -> J.Int i) int; map (fun f -> J.Float f) fin_float;
+            map (fun s -> J.String s) str ]
+      else
+        oneof
+          [ map (fun l -> J.List l) (list_size (int_bound 4) (self (n / 2)));
+            map (fun kvs -> J.Obj kvs)
+              (list_size (int_bound 4) (pair str (self (n / 2)))) ])
+
+let json_roundtrip_prop =
+  QCheck.Test.make ~count:500 ~name:"JSON parse . print = id"
+    (QCheck.make ~print:J.to_string json_gen)
+    (fun v ->
+      match (J.parse (J.to_string v), J.parse (J.to_string_pretty v)) with
+      | Ok c, Ok p -> J.equal v c && J.equal v p
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Stream: ring semantics, overflow accounting, concurrent producers    *)
+(* ------------------------------------------------------------------ *)
+
+module S = Telemetry.Stream
+
+let counter_event i =
+  S.Counter_delta { cd_t = 0.; cd_name = "test.stream.ev"; cd_delta = i }
+
+let delta_of = function
+  | S.Counter_delta { cd_delta; _ } -> cd_delta
+  | _ -> Alcotest.fail "expected Counter_delta"
+
+let test_stream_disabled_noop () =
+  ignore (S.drain () : S.event list);
+  S.with_enabled false (fun () ->
+      let d0 = S.dropped_events () in
+      Alcotest.(check bool) "emit refused" false (S.emit (counter_event 0));
+      S.note_progress ~name:"x" ~completed:1 ~total:2 ();
+      Alcotest.(check int) "nothing buffered" 0 (List.length (S.drain ()));
+      Alcotest.(check int) "nothing counted as dropped" d0
+        (S.dropped_events ()))
+
+let test_stream_fifo_and_overflow () =
+  S.with_enabled true (fun () ->
+      ignore (S.drain () : S.event list);
+      let d0 = S.dropped_events () in
+      let extra = 100 in
+      let accepted = ref 0 in
+      for i = 0 to S.capacity + extra - 1 do
+        if S.emit (counter_event i) then incr accepted
+      done;
+      Alcotest.(check int) "ring accepts exactly its capacity" S.capacity
+        !accepted;
+      Alcotest.(check int) "drops counted" extra (S.dropped_events () - d0);
+      let evs = S.drain () in
+      Alcotest.(check int) "drain returns the ring" S.capacity
+        (List.length evs);
+      (* FIFO: the oldest [capacity] events, in emission order *)
+      List.iteri
+        (fun i ev -> Alcotest.(check int) "order" i (delta_of ev))
+        evs;
+      (* and the ring is usable again after a full drain *)
+      Alcotest.(check bool) "accepts after drain" true
+        (S.emit (counter_event 0));
+      ignore (S.drain () : S.event list))
+
+let test_stream_concurrent_producers () =
+  S.with_enabled true (fun () ->
+      ignore (S.drain () : S.event list);
+      let d0 = S.dropped_events () in
+      let producers = 4 and per = 500 in
+      let mk p =
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              ignore
+                (S.emit
+                   (S.Counter_delta
+                      { cd_t = 0.;
+                        cd_name = "p" ^ string_of_int p;
+                        cd_delta = i;
+                      }))
+            done)
+      in
+      let doms = List.init producers mk in
+      List.iter Domain.join doms;
+      let evs = S.drain () in
+      Alcotest.(check int) "under capacity: nothing dropped" 0
+        (S.dropped_events () - d0);
+      Alcotest.(check int) "all received" (producers * per)
+        (List.length evs);
+      (* per-producer FIFO: each producer's events appear in its own
+         emission order, however the interleaving went *)
+      for p = 0 to producers - 1 do
+        let name = "p" ^ string_of_int p in
+        let mine =
+          List.filter_map
+            (function
+              | S.Counter_delta { cd_name; cd_delta; _ }
+                when cd_name = name ->
+                Some cd_delta
+              | _ -> None)
+            evs
+        in
+        Alcotest.(check (list int))
+          (name ^ " in order")
+          (List.init per Fun.id) mine
+      done)
+
+let test_stream_concurrent_overflow () =
+  S.with_enabled true (fun () ->
+      ignore (S.drain () : S.event list);
+      let d0 = S.dropped_events () in
+      let producers = 4 in
+      let per = (S.capacity / producers) + 1_000 in
+      let doms =
+        List.init producers (fun p ->
+            Domain.spawn (fun () ->
+                for i = 0 to per - 1 do
+                  ignore
+                    (S.emit
+                       (S.Counter_delta
+                          { cd_t = 0.;
+                            cd_name = "q" ^ string_of_int p;
+                            cd_delta = i;
+                          }))
+                done))
+      in
+      List.iter Domain.join doms;
+      let received = List.length (S.drain ()) in
+      let dropped = S.dropped_events () - d0 in
+      (* conservation: every emitted event was either buffered or
+         counted as dropped, never silently lost *)
+      Alcotest.(check int) "received + dropped = pushed" (producers * per)
+        (received + dropped);
+      Alcotest.(check bool) "ring filled" true (received <= S.capacity);
+      Alcotest.(check bool) "some drops happened" true (dropped > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Writer + Live reader: a run's live file round-trips                  *)
+(* ------------------------------------------------------------------ *)
+
+module L = Telemetry.Live
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let test_live_file_roundtrip () =
+  let path = Filename.temp_file "bidir-test-live" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  S.with_enabled true (fun () ->
+      ignore (S.drain () : S.event list);
+      let w = S.Writer.create ~path () in
+      S.note_progress ~name:"unit" ~completed:1 ~total:2 ~rate:10.
+        ~eta_seconds:0.1 ();
+      S.Writer.pulse w;
+      S.note_progress ~name:"unit" ~completed:2 ~total:2 ~rate:10.
+        ~eta_seconds:0. ();
+      S.Writer.pulse w;
+      S.Writer.close w;
+      S.Writer.close w (* idempotent *));
+  let st = L.create () in
+  List.iter (L.feed_line st) (read_lines path);
+  Alcotest.(check (option string)) "schema" (Some "bidir-live/1")
+    (L.schema st);
+  Alcotest.(check int) "no parse errors" 0 (L.parse_errors st);
+  Alcotest.(check bool) "at least two heartbeats" true (L.heartbeats st >= 2);
+  Alcotest.(check bool) "finished" true (L.finished st);
+  Alcotest.(check bool) "monotone" true (L.monotone st);
+  Alcotest.(check int) "no drops" 0 (L.dropped st);
+  (match L.progress st with
+  | Some p ->
+    Alcotest.(check int) "latest completed" 2 p.L.pr_completed;
+    Alcotest.(check int) "total" 2 p.L.pr_total
+  | None -> Alcotest.fail "no progress survived the round trip");
+  (* the frame is a pure function of the file *)
+  Alcotest.(check string) "render deterministic" (L.render st) (L.render st);
+  match J.parse (J.to_string (L.to_json st)) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "to_json not parseable: %s" m
+
+let test_live_monotone_violation () =
+  let st = L.create () in
+  L.feed_string st
+    "{\"schema\":\"bidir-live/1\",\"record\":\"start\",\"t\":1.0,\"interval\":0.0}\n\
+     {\"record\":\"progress\",\"t\":2.0,\"name\":\"x\",\"completed\":5,\"total\":9,\"rate\":1.0,\"ci\":null,\"ci_target\":null,\"eta\":null}\n\
+     {\"record\":\"progress\",\"t\":3.0,\"name\":\"x\",\"completed\":3,\"total\":9,\"rate\":1.0,\"ci\":null,\"ci_target\":null,\"eta\":null}\n";
+  Alcotest.(check bool) "regressing progress flagged" false (L.monotone st);
+  let st2 = L.create () in
+  L.feed_string st2
+    "{\"record\":\"heartbeat\",\"t\":1.0,\"seq\":2,\"counters\":{},\"histograms\":{}}\n\
+     {\"record\":\"heartbeat\",\"t\":2.0,\"seq\":2,\"counters\":{},\"histograms\":{}}\n";
+  Alcotest.(check bool) "non-increasing seq flagged" false (L.monotone st2);
+  (* garbage lines count as parse errors without killing the fold *)
+  let st3 = L.create () in
+  L.feed_string st3 "not json at all\n{\"record\":\"heartbeat\",\"t\":1.0,\"seq\":1,\"counters\":{\"c\":2},\"histograms\":{}}\n";
+  Alcotest.(check int) "parse error counted" 1 (L.parse_errors st3);
+  Alcotest.(check (list (pair string int))) "later lines still folded"
+    [ ("c", 2) ] (L.counters st3)
+
+(* ------------------------------------------------------------------ *)
+(* Log: levels, rate limiting, span path, SLO watchdog                  *)
+(* ------------------------------------------------------------------ *)
+
+module Lg = Telemetry.Log
+
+(* every Log test silences the stderr sink and restores defaults *)
+let with_quiet_log f =
+  Lg.set_stderr None;
+  Fun.protect
+    ~finally:(fun () ->
+      Lg.set_stderr (Some Lg.Warn);
+      Lg.set_level Lg.Info;
+      Lg.set_slos [])
+    f
+
+let drain_logs () =
+  List.filter_map
+    (function S.Log r -> Some r | _ -> None)
+    (S.drain ())
+
+let test_log_levels_and_span () =
+  with_quiet_log @@ fun () ->
+  S.with_enabled true (fun () ->
+      ignore (S.drain () : S.event list);
+      (* below the minimum level: discarded at the callsite *)
+      Lg.set_level Lg.Warn;
+      Lg.info "should not appear %d" 1;
+      Alcotest.(check int) "info below min level" 0
+        (List.length (drain_logs ()));
+      Lg.set_level Lg.Info;
+      (* the record carries the current span path *)
+      Telemetry.Span.start ();
+      Telemetry.Span.with_span "a" (fun () ->
+          Telemetry.Span.with_span "b" (fun () -> Lg.warn "deep"));
+      Telemetry.Span.stop ();
+      match drain_logs () with
+      | [ r ] ->
+        Alcotest.(check string) "message" "deep" r.S.l_msg;
+        Alcotest.(check string) "root-first span path" "a/b" r.S.l_span;
+        Alcotest.(check string) "level" "warn" (S.level_name r.S.l_level)
+      | l -> Alcotest.failf "expected one record, got %d" (List.length l))
+
+let test_log_rate_limit () =
+  with_quiet_log @@ fun () ->
+  S.with_enabled true (fun () ->
+      ignore (S.drain () : S.event list);
+      let sup = Telemetry.Metrics.counter "telemetry.log.suppressed" in
+      let s0 = Telemetry.Metrics.value sup in
+      for i = 0 to 9 do
+        Lg.info ~rate:3600. ~key:"rate-limit-test" "repeat %d" i
+      done;
+      Alcotest.(check int) "one emitted" 1 (List.length (drain_logs ()));
+      Alcotest.(check int) "nine suppressed" 9
+        (Telemetry.Metrics.value sup - s0);
+      (* a different key is not throttled by the first *)
+      Lg.info ~rate:3600. ~key:"rate-limit-other" "other";
+      Alcotest.(check int) "distinct key emitted" 1
+        (List.length (drain_logs ())))
+
+let test_slo_parse () =
+  (match Lg.parse_slo "lp.solve_seconds:p99:0.05:0.5" with
+  | Ok s ->
+    Alcotest.(check string) "metric" "lp.solve_seconds" s.Lg.slo_metric;
+    Alcotest.(check string) "stat" "p99" (Lg.stat_name s.Lg.slo_stat);
+    feq "warn" 0.05 s.Lg.slo_warn;
+    Alcotest.(check (option (float 1e-9))) "error" (Some 0.5) s.Lg.slo_error
+  | Error m -> Alcotest.failf "parse_slo: %s" m);
+  (match Lg.parse_slo "campaign.pool_idle_seconds:sum:5" with
+  | Ok s -> Alcotest.(check (option (float 1e-9))) "no error level" None
+              s.Lg.slo_error
+  | Error m -> Alcotest.failf "parse_slo: %s" m);
+  List.iter
+    (fun spec ->
+      match Lg.parse_slo spec with
+      | Ok _ -> Alcotest.failf "expected failure on %S" spec
+      | Error _ -> ())
+    [ ""; "metric"; "metric:p99"; "metric:nostat:1"; "metric:p99:notafloat" ]
+
+let test_slo_watchdog_transitions () =
+  with_quiet_log @@ fun () ->
+  S.with_enabled true (fun () ->
+      ignore (S.drain () : S.event list);
+      let h = Telemetry.Metrics.histogram "test.slo.watch_hist" in
+      Lg.set_slos
+        [ { Lg.slo_metric = "test.slo.watch_hist"; slo_stat = Lg.Mean;
+            slo_warn = 5.; slo_error = Some 100. } ];
+      (* empty metric: skipped, no records *)
+      Lg.watch ();
+      Alcotest.(check int) "empty metric skipped" 0
+        (List.length (drain_logs ()));
+      (* breach: exactly one warn on the transition, silence while the
+         breach persists *)
+      Telemetry.Metrics.observe h 10.;
+      Lg.watch ();
+      (match drain_logs () with
+      | [ r ] ->
+        Alcotest.(check string) "warn on breach" "warn"
+          (S.level_name r.S.l_level)
+      | l -> Alcotest.failf "expected one warn, got %d" (List.length l));
+      Lg.watch ();
+      Alcotest.(check int) "no repeat while breached" 0
+        (List.length (drain_logs ()));
+      (* escalation to the error threshold logs once more *)
+      Telemetry.Metrics.observe h 1_000.;
+      Lg.watch ();
+      (match drain_logs () with
+      | [ r ] ->
+        Alcotest.(check string) "error on escalation" "error"
+          (S.level_name r.S.l_level)
+      | l -> Alcotest.failf "expected one error, got %d" (List.length l));
+      (* recovery: drag the mean back under the warn threshold *)
+      for _ = 1 to 1_000 do Telemetry.Metrics.observe h 0. done;
+      Lg.watch ();
+      match drain_logs () with
+      | [ r ] ->
+        Alcotest.(check string) "info on recovery" "info"
+          (S.level_name r.S.l_level)
+      | l -> Alcotest.failf "expected one recovery record, got %d"
+               (List.length l))
+
+(* ------------------------------------------------------------------ *)
+(* Analyze on adversarial traces                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mk_event ?(cat = "t") ?(tid = 0) ?(parent = "") ~ts ~dur name =
+  { Telemetry.Span.name; cat; ts; dur; tid; parent; args = [] }
+
+let analyze_invariants t =
+  let paths = Telemetry.Analyze.paths t in
+  let rec prefixes = function
+    | [] | [ _ ] -> []
+    | x :: rest -> [ x ] :: List.map (fun p -> x :: p) (prefixes rest)
+  in
+  List.for_all
+    (fun p -> List.for_all (fun pre -> List.mem pre paths) (prefixes p))
+    paths
+  && List.for_all
+       (fun nd -> nd.Telemetry.Analyze.self >= 0.)
+       (Telemetry.Analyze.nodes t)
+
+let test_analyze_equal_start_times () =
+  (* parent and child starting on the same timestamp (a zero-cost
+     prologue): containment must still resolve parent-before-child *)
+  let evs =
+    [ mk_event ~ts:0. ~dur:1.0 "root";
+      mk_event ~ts:0. ~dur:0.6 ~parent:"root" "child";
+      mk_event ~ts:0. ~dur:0.2 ~parent:"child" "grandchild";
+    ]
+  in
+  let t = Telemetry.Analyze.analyze evs in
+  Alcotest.(check bool) "invariants hold" true (analyze_invariants t);
+  Alcotest.(check bool) "nested path recovered" true
+    (List.mem [ "root"; "child"; "grandchild" ] (Telemetry.Analyze.paths t))
+
+let test_analyze_zero_duration_spans () =
+  let evs =
+    [ mk_event ~ts:0. ~dur:1.0 "root";
+      mk_event ~ts:0.5 ~dur:0. ~parent:"root" "marker";
+      mk_event ~ts:0.5 ~dur:0. ~parent:"marker" "submarker";
+    ]
+  in
+  let t = Telemetry.Analyze.analyze evs in
+  Alcotest.(check bool) "invariants hold" true (analyze_invariants t);
+  Alcotest.(check bool) "zero-duration span kept" true
+    (List.mem [ "root"; "marker" ] (Telemetry.Analyze.paths t));
+  Alcotest.(check bool) "self times within root" true
+    (Telemetry.Analyze.total_self t
+     <= Telemetry.Analyze.root_dur t +. 1e-6)
+
+let test_analyze_dropped_parent () =
+  (* an overflow-dropped parent: the child names a span that never made
+     it into the trace, so it must fall back to a root rather than
+     crash or vanish *)
+  let evs =
+    [ mk_event ~ts:0. ~dur:1.0 "root";
+      mk_event ~ts:2.0 ~dur:0.5 ~parent:"lost" "orphan";
+    ]
+  in
+  let t = Telemetry.Analyze.analyze evs in
+  Alcotest.(check bool) "invariants hold" true (analyze_invariants t);
+  Alcotest.(check bool) "orphan surfaces as a root path" true
+    (List.exists
+       (fun p -> List.mem "orphan" p)
+       (Telemetry.Analyze.paths t))
+
+let test_analyze_mutual_parents () =
+  (* a cycle two spans naming each other as parent must not loop the
+     path reconstruction *)
+  let evs =
+    [ mk_event ~ts:0. ~dur:1.0 ~parent:"b" "a";
+      mk_event ~ts:0.1 ~dur:0.5 ~parent:"a" "b";
+    ]
+  in
+  let t = Telemetry.Analyze.analyze evs in
+  Alcotest.(check bool) "terminates with invariants" true
+    (analyze_invariants t);
+  Alcotest.(check bool) "both spans attributed" true
+    (List.length (Telemetry.Analyze.nodes t) >= 2)
+
+(* ------------------------------------------------------------------ *)
 
 let suites =
   [ ( "telemetry.histogram",
@@ -624,6 +1088,34 @@ let suites =
       [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
         Alcotest.test_case "standard inputs" `Quick test_json_parse_standard;
         Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite;
+        Alcotest.test_case "escapes, surrogate pairs, exponents" `Quick
+          test_json_escapes;
+        QCheck_alcotest.to_alcotest json_roundtrip_prop;
+      ] );
+    ( "telemetry.stream",
+      [ Alcotest.test_case "disabled emit is a no-op" `Quick
+          test_stream_disabled_noop;
+        Alcotest.test_case "FIFO order, overflow drops counted" `Quick
+          test_stream_fifo_and_overflow;
+        Alcotest.test_case "concurrent producers, per-producer order" `Quick
+          test_stream_concurrent_producers;
+        Alcotest.test_case "concurrent overflow conserves events" `Quick
+          test_stream_concurrent_overflow;
+      ] );
+    ( "telemetry.live",
+      [ Alcotest.test_case "writer file round-trips through the reader"
+          `Quick test_live_file_roundtrip;
+        Alcotest.test_case "monotonicity violations and garbage flagged"
+          `Quick test_live_monotone_violation;
+      ] );
+    ( "telemetry.log",
+      [ Alcotest.test_case "levels and span path" `Quick
+          test_log_levels_and_span;
+        Alcotest.test_case "per-callsite rate limiting" `Quick
+          test_log_rate_limit;
+        Alcotest.test_case "SLO spec parsing" `Quick test_slo_parse;
+        Alcotest.test_case "SLO watchdog logs transitions only" `Quick
+          test_slo_watchdog_transitions;
       ] );
     ( "telemetry.span",
       [ Alcotest.test_case "disabled collects nothing" `Quick
@@ -659,5 +1151,13 @@ let suites =
         Alcotest.test_case "collapsed stacks well-formed, focus re-roots"
           `Quick test_collapsed_stacks_wellformed;
         QCheck_alcotest.to_alcotest analyzer_paths_prefix_closed;
+        Alcotest.test_case "equal start times" `Quick
+          test_analyze_equal_start_times;
+        Alcotest.test_case "zero-duration spans" `Quick
+          test_analyze_zero_duration_spans;
+        Alcotest.test_case "overflow-dropped parent falls back to root"
+          `Quick test_analyze_dropped_parent;
+        Alcotest.test_case "mutual parent cycle terminates" `Quick
+          test_analyze_mutual_parents;
       ] );
   ]
