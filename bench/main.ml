@@ -331,6 +331,339 @@ let lp_comparison () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Kernel: flat floatarray tableau vs the nested-array engine          *)
+(* ------------------------------------------------------------------ *)
+
+(* The warm-start engine as it existed before the flat kernel: a
+   [float array array] tableau (one heap block per row, boxed row
+   pointers between them), column-major reduced costs rebuilt with
+   [Array.init] on every pivot, and a boxed solution record per solve.
+   Same algorithm as [Linprog.Solver] — phase 1 once, Dantzig pricing
+   with the sticky Bland fallback, identical tolerances — so the only
+   thing the comparison measures is the data layout and the
+   allocation behaviour. *)
+module Nested_solver = struct
+  let eps = 1e-9
+  let stall_limit = 20
+
+  type t = {
+    nvars : int;
+    mutable m : int;
+    ncols : int;
+    tab : float array array; (* m x (ncols + 1), rhs in the last slot *)
+    basis : int array;
+    first_artificial : int;
+    cost : float array; (* ncols slots, the loaded objective *)
+    mutable feasible : bool;
+  }
+
+  (* column-major over every column (disallowed ones price to
+     neg_infinity), one fresh array per pivot — the historical
+     scratch discipline *)
+  let reduced_costs t ~limit =
+    Array.init t.ncols (fun j ->
+        if j >= limit then neg_infinity
+        else begin
+          let r = ref t.cost.(j) in
+          for i = 0 to t.m - 1 do
+            let cb = t.cost.(t.basis.(i)) in
+            if cb <> 0. then r := !r -. (cb *. t.tab.(i).(j))
+          done;
+          !r
+        end)
+
+  let eliminate t ~row ~col =
+    let pr = t.tab.(row) in
+    let p = pr.(col) in
+    for j = 0 to t.ncols do
+      pr.(j) <- pr.(j) /. p
+    done;
+    for i = 0 to t.m - 1 do
+      if i <> row then begin
+        let f = t.tab.(i).(col) in
+        if f <> 0. then begin
+          let ri = t.tab.(i) in
+          for j = 0 to t.ncols do
+            ri.(j) <- ri.(j) -. (f *. pr.(j))
+          done
+        end
+      end
+    done;
+    t.basis.(row) <- col
+
+  let ratio_leave t ~col =
+    let best = ref infinity and leave = ref (-1) in
+    for i = 0 to t.m - 1 do
+      let a = t.tab.(i).(col) in
+      if a > eps then begin
+        let r = t.tab.(i).(t.ncols) /. a in
+        if
+          r < !best -. eps
+          || (abs_float (r -. !best) <= eps
+              && !leave >= 0
+              && t.basis.(i) < t.basis.(!leave))
+        then begin
+          best := r;
+          leave := i
+        end
+      end
+    done;
+    (!leave, !leave >= 0 && !best <= eps)
+
+  let run_phase t ~limit =
+    let bland = ref false and stall = ref 0 in
+    let state = ref 0 and iter = ref 0 in
+    while !state = 0 do
+      if !iter > 10_000 then failwith "Nested_solver: iteration limit";
+      incr iter;
+      let reduced = reduced_costs t ~limit in
+      let entering = ref (-1) in
+      if !bland then begin
+        let j = ref 0 in
+        while !entering < 0 && !j < limit do
+          if reduced.(!j) > eps then entering := !j;
+          incr j
+        done
+      end
+      else begin
+        let bestv = ref eps in
+        for j = 0 to limit - 1 do
+          if reduced.(j) > !bestv then begin
+            bestv := reduced.(j);
+            entering := j
+          end
+        done
+      end;
+      if !entering < 0 then state := 1
+      else begin
+        let leave, degenerate = ratio_leave t ~col:!entering in
+        if leave < 0 then state := 2
+        else begin
+          if degenerate then begin
+            incr stall;
+            if !stall > stall_limit then bland := true
+          end
+          else stall := 0;
+          eliminate t ~row:leave ~col:!entering
+        end
+      end
+    done;
+    !state = 1
+
+  let objective t =
+    let acc = ref 0. in
+    for i = 0 to t.m - 1 do
+      let cb = t.cost.(t.basis.(i)) in
+      if cb <> 0. then acc := !acc +. (cb *. t.tab.(i).(t.ncols))
+    done;
+    !acc
+
+  let create ~nvars ~constrs =
+    (* identical normalisation/layout to Linprog (rhs >= 0; slack per
+       inequality; artificial per Ge/Eq row) *)
+    let normalised =
+      List.map
+        (fun (c : Linprog.Simplex.constr) ->
+          if c.Linprog.Simplex.rhs < 0. then
+            Linprog.Simplex.constr
+              (Array.map (fun a -> -.a) c.Linprog.Simplex.coeffs)
+              (match c.Linprog.Simplex.relation with
+              | Linprog.Simplex.Le -> Linprog.Simplex.Ge
+              | Linprog.Simplex.Ge -> Linprog.Simplex.Le
+              | Linprog.Simplex.Eq -> Linprog.Simplex.Eq)
+              (-.c.Linprog.Simplex.rhs)
+          else c)
+        constrs
+    in
+    let m = List.length normalised in
+    let n_slack =
+      List.length
+        (List.filter
+           (fun c -> c.Linprog.Simplex.relation <> Linprog.Simplex.Eq)
+           normalised)
+    in
+    let first_artificial = nvars + n_slack in
+    let n_art =
+      List.length
+        (List.filter
+           (fun c -> c.Linprog.Simplex.relation <> Linprog.Simplex.Le)
+           normalised)
+    in
+    let ncols = first_artificial + n_art in
+    let t =
+      { nvars;
+        m;
+        ncols;
+        tab = Array.init m (fun _ -> Array.make (ncols + 1) 0.);
+        basis = Array.make m 0;
+        first_artificial;
+        cost = Array.make ncols 0.;
+        feasible = false;
+      }
+    in
+    let slack = ref nvars and art = ref first_artificial in
+    List.iteri
+      (fun i (c : Linprog.Simplex.constr) ->
+        Array.blit c.Linprog.Simplex.coeffs 0 t.tab.(i) 0 nvars;
+        t.tab.(i).(ncols) <- c.Linprog.Simplex.rhs;
+        match c.Linprog.Simplex.relation with
+        | Linprog.Simplex.Le ->
+          t.tab.(i).(!slack) <- 1.;
+          t.basis.(i) <- !slack;
+          incr slack
+        | Linprog.Simplex.Ge ->
+          t.tab.(i).(!slack) <- -1.;
+          incr slack;
+          t.tab.(i).(!art) <- 1.;
+          t.basis.(i) <- !art;
+          incr art
+        | Linprog.Simplex.Eq ->
+          t.tab.(i).(!art) <- 1.;
+          t.basis.(i) <- !art;
+          incr art)
+      normalised;
+    (* phase 1 *)
+    Array.fill t.cost 0 ncols 0.;
+    for j = first_artificial to ncols - 1 do
+      t.cost.(j) <- -1.
+    done;
+    ignore (run_phase t ~limit:ncols : bool);
+    if objective t < -.eps then t.feasible <- false
+    else begin
+      (* drive artificials out of the basis (or drop redundant rows) *)
+      let i = ref 0 in
+      while !i < t.m do
+        if t.basis.(!i) >= first_artificial then begin
+          let col = ref (-1) and j = ref 0 in
+          while !col < 0 && !j < first_artificial do
+            if abs_float t.tab.(!i).(!j) > eps then col := !j;
+            incr j
+          done;
+          if !col >= 0 then begin
+            eliminate t ~row:!i ~col:!col;
+            incr i
+          end
+          else begin
+            t.tab.(!i) <- t.tab.(t.m - 1);
+            t.m <- t.m - 1
+          end
+        end
+        else incr i
+      done;
+      t.feasible <- true
+    end;
+    t
+
+  (* warm phase-2 reoptimize, boxed solution like the historical API *)
+  let reoptimize t ~c =
+    if not t.feasible then failwith "Nested_solver: infeasible";
+    Array.fill t.cost 0 t.ncols 0.;
+    Array.blit c 0 t.cost 0 t.nvars;
+    if not (run_phase t ~limit:t.first_artificial) then
+      failwith "Nested_solver: unbounded";
+    let x = Array.make t.nvars 0. in
+    for i = 0 to t.m - 1 do
+      let b = t.basis.(i) in
+      if b < t.nvars then x.(b) <- t.tab.(i).(t.ncols)
+    done;
+    (x, objective t)
+end
+
+(* The production TDBC LP swept warm on both engines: same create-once
+   instance, same 129 objectives, identical pivot rule. Wall time is
+   total over [reps] sweeps; latency percentiles and the
+   allocations-per-warm-solve figure come from dedicated unmixed
+   passes so timing instrumentation never pollutes the allocation
+   measurement (and vice versa). *)
+let kernel_comparison () =
+  hr "KERNEL: flat floatarray tableau vs nested arrays (129-weight TDBC sweep)";
+  let nvars, constrs = Bidir.Rate_region.lp_constraints tdbc_bound in
+  let weights = 129 in
+  let objectives =
+    Array.init weights (fun i ->
+        let w = float_of_int i /. float_of_int (weights - 1) in
+        let c = Array.make nvars 0. in
+        c.(0) <- w;
+        c.(1) <- 1. -. w;
+        c)
+  in
+  let reps = 400 in
+  let nested = Nested_solver.create ~nvars ~constrs in
+  let flat = Linprog.Solver.create ~nvars ~constrs in
+  let x = Array.make (nvars + 1) 0. in
+  let nested_objs = Array.make weights nan in
+  let flat_objs = Array.make weights nan in
+  let nested_sweep () =
+    for i = 0 to weights - 1 do
+      let _, obj = Nested_solver.reoptimize nested ~c:objectives.(i) in
+      nested_objs.(i) <- obj
+    done
+  in
+  let flat_sweep () =
+    for i = 0 to weights - 1 do
+      (match Linprog.Solver.reoptimize_into flat ~c:objectives.(i) ~x with
+      | Linprog.Solver.Optimal -> ()
+      | Linprog.Solver.Unbounded | Linprog.Solver.Infeasible ->
+        failwith "kernel_comparison: non-optimal production LP");
+      flat_objs.(i) <- x.(nvars)
+    done
+  in
+  (* warm both engines, and fault in every code path once *)
+  nested_sweep ();
+  flat_sweep ();
+  let time_sweeps sweep =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      sweep ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let nested_dt = time_sweeps nested_sweep in
+  let flat_dt = time_sweeps flat_sweep in
+  let speedup = nested_dt /. Float.max flat_dt 1e-12 in
+  let objectives_equal =
+    Array.for_all2
+      (fun a b -> abs_float (a -. b) <= 1e-9)
+      nested_objs flat_objs
+  in
+  (* flat warm latency distribution, per solve *)
+  Telemetry.Metrics.reset ();
+  let lp_seconds = Telemetry.Metrics.histogram "lp.solve_seconds" in
+  for i = 0 to weights - 1 do
+    Telemetry.Metrics.time lp_seconds (fun () ->
+        ignore
+          (Linprog.Solver.reoptimize_into flat ~c:objectives.(i) ~x
+            : Linprog.Solver.verdict))
+  done;
+  let p50, _, p99 = Telemetry.Histogram.percentiles lp_seconds in
+  (* allocations per warm solve: one Gc pair around a whole untimed
+     sweep (the read itself boxes ~a dozen bytes, amortised to zero by
+     the integer division over 129 solves) *)
+  let b0 = Gc.allocated_bytes () in
+  flat_sweep ();
+  let alloc_per_warm_solve =
+    int_of_float (Float.max 0. (Gc.allocated_bytes () -. b0)) / weights
+  in
+  Printf.printf "nested arrays:  %8.2f ms/sweep\n" (1000. *. nested_dt);
+  Printf.printf "flat kernel:    %8.2f ms/sweep  (%.2fx speedup)\n"
+    (1000. *. flat_dt) speedup;
+  Printf.printf
+    "flat warm solve: p50=%.3gs p99=%.3gs, %d alloc B/solve; objectives \
+     agree to 1e-9: %b\n"
+    p50 p99 alloc_per_warm_solve objectives_equal;
+  Telemetry.Json.Obj
+    [ ("weights", Telemetry.Json.Int weights);
+      ("reps", Telemetry.Json.Int reps);
+      ("nested_seconds_per_sweep", Telemetry.Json.Float nested_dt);
+      ("flat_seconds_per_sweep", Telemetry.Json.Float flat_dt);
+      ("speedup", Telemetry.Json.Float speedup);
+      ("solve_seconds_p50", Telemetry.Json.Float p50);
+      ("solve_seconds_p99", Telemetry.Json.Float p99);
+      ("alloc_bytes_per_warm_solve", Telemetry.Json.Int alloc_per_warm_solve);
+      ("objectives_equal", Telemetry.Json.Bool objectives_equal);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Campaign: sharded Monte-Carlo replication engine                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -807,7 +1140,7 @@ let bench_json_path = "BENCH_engine.json"
    phase wall times and full telemetry registry (histograms with
    p50/p90/p99), plus the engine-comparison timings. Tracking these
    files across commits gives the performance trajectory of the repo. *)
-let write_bench_json ~repro_stats ~repro_telemetry ~comparison ~lp =
+let write_bench_json ~repro_stats ~repro_telemetry ~comparison ~lp ~kernel =
   let s : Engine.Stats.snapshot = repro_stats in
   let json =
     Telemetry.Json.Obj
@@ -828,6 +1161,7 @@ let write_bench_json ~repro_stats ~repro_telemetry ~comparison ~lp =
            ]);
         ("engine_comparison", comparison);
         ("lp_comparison", lp);
+        ("kernel_comparison", kernel);
       ]
   in
   let oc = open_out bench_json_path in
@@ -885,7 +1219,7 @@ let trajectory_path = "BENCH_trajectory.jsonl"
    trajectory across commits; the full-fidelity baseline for `bidir
    check` style diffing lives in BENCH_snapshot.json. *)
 let append_trajectory ~(snapshot : Telemetry.Snapshot.t) ~comparison ~lp
-    ~campaign ~queue ~network =
+    ~kernel ~campaign ~queue ~network =
   let hist_summary h =
     Telemetry.Json.Obj
       [ ("count", Telemetry.Json.Int (Telemetry.Histogram.count h));
@@ -932,6 +1266,17 @@ let append_trajectory ~(snapshot : Telemetry.Snapshot.t) ~comparison ~lp
           | Some v -> [ (key, v) ]
           | None -> [])
         [ "alloc_bytes_per_solve" ]
+      @
+      (* flat-kernel headline numbers, prefixed except the issue-facing
+         allocation key *)
+      List.concat_map
+        (fun (key, out) ->
+          match Telemetry.Json.member key kernel with
+          | Some v -> [ (out, v) ]
+          | None -> [])
+        [ ("speedup", "kernel_speedup");
+          ("objectives_equal", "kernel_objectives_equal");
+          ("alloc_bytes_per_warm_solve", "alloc_bytes_per_warm_solve") ]
       @ List.concat_map
           (fun key ->
             match Telemetry.Json.member key campaign with
@@ -978,14 +1323,15 @@ let () =
   ablation ();
   let comparison = engine_comparison () in
   let lp = lp_comparison () in
+  let kernel = kernel_comparison () in
   let campaign = campaign_comparison () in
   let queue = queue_comparison () in
   let network = network_comparison () in
-  write_bench_json ~repro_stats ~repro_telemetry ~comparison ~lp;
+  write_bench_json ~repro_stats ~repro_telemetry ~comparison ~lp ~kernel;
   write_campaign_json ~campaign ~queue;
   write_network_json ~network;
-  append_trajectory ~snapshot:repro_snapshot ~comparison ~lp ~campaign ~queue
-    ~network;
+  append_trajectory ~snapshot:repro_snapshot ~comparison ~lp ~kernel ~campaign
+    ~queue ~network;
   if not quick then begin
     (* time the real kernels, not cache lookups *)
     Engine.Memo.with_enabled false run_benchmarks

@@ -16,16 +16,29 @@ type link_rates = {
   c_b_ra : float;
 }
 
+(* The six SNR products are batched through one in-place
+   [Float_utils.capacities_into] pass over a per-domain scratch buffer
+   (bit-identical to six [Channel.Awgn.c] calls; see its contract).
+   DLS keeps the scratch un-shared between pool workers. *)
+let link_scratch = Domain.DLS.new_key (fun () -> Float.Array.create 6)
+
 let link_rates s =
   let p = s.power in
   let g = s.gains in
-  let c = Channel.Awgn.c in
-  { c_ab = c (p *. g.Channel.Gains.g_ab);
-    c_ar = c (p *. g.Channel.Gains.g_ar);
-    c_br = c (p *. g.Channel.Gains.g_br);
-    c_mac = c (p *. (g.Channel.Gains.g_ar +. g.Channel.Gains.g_br));
-    c_a_rb = c (p *. (g.Channel.Gains.g_ar +. g.Channel.Gains.g_ab));
-    c_b_ra = c (p *. (g.Channel.Gains.g_br +. g.Channel.Gains.g_ab));
+  let buf = Domain.DLS.get link_scratch in
+  Float.Array.unsafe_set buf 0 (p *. g.Channel.Gains.g_ab);
+  Float.Array.unsafe_set buf 1 (p *. g.Channel.Gains.g_ar);
+  Float.Array.unsafe_set buf 2 (p *. g.Channel.Gains.g_br);
+  Float.Array.unsafe_set buf 3 (p *. (g.Channel.Gains.g_ar +. g.Channel.Gains.g_br));
+  Float.Array.unsafe_set buf 4 (p *. (g.Channel.Gains.g_ar +. g.Channel.Gains.g_ab));
+  Float.Array.unsafe_set buf 5 (p *. (g.Channel.Gains.g_br +. g.Channel.Gains.g_ab));
+  Numerics.Float_utils.capacities_into ~src:buf ~dst:buf ~n:6;
+  { c_ab = Float.Array.unsafe_get buf 0;
+    c_ar = Float.Array.unsafe_get buf 1;
+    c_br = Float.Array.unsafe_get buf 2;
+    c_mac = Float.Array.unsafe_get buf 3;
+    c_a_rb = Float.Array.unsafe_get buf 4;
+    c_b_ra = Float.Array.unsafe_get buf 5;
   }
 
 (* With Gaussian inputs and reciprocal gains the relay broadcast is heard

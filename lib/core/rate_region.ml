@@ -80,6 +80,8 @@ let () = Engine.Memo.on_clear_all bump_solver_epoch
 type solver_slot = {
   solver : Linprog.Solver.t;
   mutable loaded : string; (* bound key of the system currently loaded *)
+  c : float array; (* objective buffer, [nvars] slots *)
+  x : float array; (* solution buffer for [reoptimize_into], [nvars + 1] *)
 }
 
 type slot_table = {
@@ -100,9 +102,11 @@ let domain_slots () =
   end;
   t.slots
 
-(* Fetch this domain's solver for [shape], loading [constrs b] when the
-   slot holds a different bound system (or none yet). *)
-let solver_for ~shape ~key ~nvars b constrs =
+(* Fetch this domain's slot for [shape], loading [constrs b] when the
+   slot holds a different bound system (or none yet). The slot owns the
+   [c]/[x] buffers its solver's [reoptimize_into] runs against, so a
+   warm sweep iteration allocates nothing on the solve path. *)
+let slot_for ~shape ~key ~nvars b constrs =
   let slots = domain_slots () in
   match Hashtbl.find_opt slots shape with
   | Some s ->
@@ -110,11 +114,18 @@ let solver_for ~shape ~key ~nvars b constrs =
       Linprog.Solver.rebuild s.solver ~constrs:(constrs b);
       s.loaded <- key
     end;
-    s.solver
+    s
   | None ->
     let solver = Linprog.Solver.create ~nvars ~constrs:(constrs b) in
-    Hashtbl.replace slots shape { solver; loaded = key };
-    solver
+    let s =
+      { solver;
+        loaded = key;
+        c = Array.make nvars 0.;
+        x = Array.make (nvars + 1) 0.;
+      }
+    in
+    Hashtbl.replace slots shape s;
+    s
 
 let clear_cache () =
   Engine.Memo.clear weighted_cache;
@@ -137,19 +148,18 @@ let solve_weighted ~key b ~wa ~wb =
   let shape =
     Printf.sprintf "w|%d|%d" b.Bound.num_phases (List.length b.Bound.terms)
   in
-  let solver =
-    solver_for ~shape ~key ~nvars b (fun b -> snd (lp_constraints b))
-  in
-  let c = Array.make nvars 0. in
+  let slot = slot_for ~shape ~key ~nvars b (fun b -> snd (lp_constraints b)) in
+  let c = slot.c in
+  Array.fill c 0 nvars 0.;
   c.(0) <- wa;
   c.(1) <- wb;
-  match Linprog.Solver.reoptimize solver ~c with
-  | Linprog.Simplex.Optimal s ->
-    let x = s.Linprog.Simplex.x in
+  match Linprog.Solver.reoptimize_into slot.solver ~c ~x:slot.x with
+  | Linprog.Solver.Optimal ->
+    let x = slot.x in
     { ra = x.(0); rb = x.(1); deltas = Array.sub x 2 (nvars - 2) }
-  | Linprog.Simplex.Unbounded ->
+  | Linprog.Solver.Unbounded ->
     failwith "Rate_region.max_weighted: unbounded bound system"
-  | Linprog.Simplex.Infeasible ->
+  | Linprog.Solver.Infeasible ->
     failwith "Rate_region.max_weighted: infeasible bound system"
 
 (* [~key] must be [bound_key b]; sweeps compute it once and reuse it
@@ -206,8 +216,8 @@ let probe_achievable ~key b ~ra ~rb =
      documented case where phase 1 re-runs. *)
   let shape = Printf.sprintf "p|%d|%d" l (List.length b.Bound.terms) in
   let probe_key = Printf.sprintf "%s|%h|%h" key ra rb in
-  let solver = solver_for ~shape ~key:probe_key ~nvars:l b constrs in
-  Linprog.Solver.feasible solver
+  let slot = slot_for ~shape ~key:probe_key ~nvars:l b constrs in
+  Linprog.Solver.feasible slot.solver
 
 let achievable_keyed ~key b ~ra ~rb =
   if ra < -1e-12 || rb < -1e-12 then false
@@ -217,14 +227,20 @@ let achievable_keyed ~key b ~ra ~rb =
 
 let achievable b ~ra ~rb = achievable_keyed ~key:(bound_key b) b ~ra ~rb
 
-let dedup_points pts =
-  let close (p : Numerics.Vec2.t) (q : Numerics.Vec2.t) =
-    Numerics.Vec2.dist p q < 1e-7
-  in
-  List.fold_left
-    (fun acc p -> if List.exists (close p) acc then acc else p :: acc)
-    [] pts
-  |> List.rev
+(* Reusable per-domain flat buffers: the sweep's weight vector and the
+   boundary's deduplicated (x, y) coordinate pairs are staged on
+   growable [floatarray] scratch and only materialised into immutable
+   values ([float] weights, [Vec2.t] lists) at the end — no per-point
+   intermediate allocation in between. *)
+let weight_scratch = Domain.DLS.new_key (fun () -> ref (Float.Array.create 128))
+
+let point_scratch = Domain.DLS.new_key (fun () -> ref (Float.Array.create 256))
+
+let scratch key ~cap =
+  let buf = Domain.DLS.get key in
+  if Float.Array.length !buf < cap then
+    buf := Float.Array.create (max cap (2 * Float.Array.length !buf));
+  !buf
 
 (* The weight sweep shared by [boundary] and [boundary_with_schedules]:
    the Rb corner, then the interior weights in the legacy (descending-w)
@@ -233,16 +249,43 @@ let dedup_points pts =
    downstream dedup — independent of the domain count. *)
 let sweep_results ~caller ~key ~weights b =
   if weights < 2 then invalid_arg (caller ^ ": weights < 2");
-  let interior =
-    List.init weights (fun i ->
-        float_of_int (i + 1) /. float_of_int (weights + 1))
-  in
+  let wbuf = scratch weight_scratch ~cap:weights in
+  let denom = float_of_int (weights + 1) in
+  for i = 0 to weights - 1 do
+    Float.Array.unsafe_set wbuf i (float_of_int (i + 1) /. denom)
+  done;
+  let interior = List.init weights (Float.Array.unsafe_get wbuf) in
   let sweep =
     Engine.Pool.map
       (fun w -> max_weighted_keyed ~key b ~wa:w ~wb:(1. -. w))
       interior
   in
   (max_rb_keyed ~key b :: List.rev sweep) @ [ max_ra_keyed ~key b ]
+
+(* Keep-first dedup of the sweep's rate points on the flat pair buffer:
+   slot [2i]/[2i+1] hold the i-th kept (x, y). The distance test is the
+   expansion of [Vec2.dist p q < 1e-7], so kept points are exactly the
+   ones the historical [Vec2.t]-list dedup kept. Returns the kept
+   count; the caller materialises [Vec2.t]s from the buffer once. *)
+let dedup_into buf results =
+  let kept = ref 0 in
+  List.iter
+    (fun r ->
+      let x = r.ra and y = r.rb in
+      let dup = ref false and i = ref 0 in
+      while (not !dup) && !i < !kept do
+        let dx = x -. Float.Array.unsafe_get buf (2 * !i)
+        and dy = y -. Float.Array.unsafe_get buf ((2 * !i) + 1) in
+        if sqrt ((dx *. dx) +. (dy *. dy)) < 1e-7 then dup := true;
+        incr i
+      done;
+      if not !dup then begin
+        Float.Array.unsafe_set buf (2 * !kept) x;
+        Float.Array.unsafe_set buf ((2 * !kept) + 1) y;
+        incr kept
+      end)
+    results;
+  !kept
 
 let default_weights = 65
 
@@ -254,8 +297,12 @@ let boundary_keyed ~key ?(weights = default_weights) b =
       let all =
         sweep_results ~caller:"Rate_region.boundary" ~key ~weights b
       in
-      let pts = List.map (fun r -> Numerics.Vec2.make r.ra r.rb) all in
-      dedup_points pts
+      let buf = scratch point_scratch ~cap:(2 * List.length all) in
+      let kept = dedup_into buf all in
+      List.init kept (fun i ->
+          Numerics.Vec2.make
+            (Float.Array.unsafe_get buf (2 * i))
+            (Float.Array.unsafe_get buf ((2 * i) + 1)))
       |> List.sort (fun (p : Numerics.Vec2.t) (q : Numerics.Vec2.t) ->
              compare (p.Numerics.Vec2.x, p.Numerics.Vec2.y)
                (q.Numerics.Vec2.x, q.Numerics.Vec2.y)))

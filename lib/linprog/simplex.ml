@@ -10,22 +10,20 @@ let constr coeffs relation rhs = { coeffs; relation; rhs }
 
 let eps = 1e-9
 
-(* Internal tableau: [rows] is an m x (ncols+1) array, last column the
-   right-hand side. [basis.(i)] is the column currently basic in row i.
-   [allowed.(j)] marks columns permitted to enter the basis (artificials
-   are disallowed in phase 2). *)
+(* The tableau is a flat row-major [Kernel.t] (rhs in the last column;
+   [Kernel.basis] tracks the column basic in each row, and artificials
+   are disallowed in phase 2 via [Kernel.bar_from]). Each call builds a
+   fresh kernel and throws it away — all state stays per-call, so the
+   purity/re-entrancy contract documented in docs/ENGINE.md is
+   unaffected — but within a call nothing allocates per iteration any
+   more (the reduced-cost scratch lives in the kernel; the historical
+   implementation rebuilt it with [Array.init] every pivot). *)
 type tableau = {
-  rows : float array array;
-  basis : int array;
-  ncols : int;                (* structural + slack + artificial columns *)
-  mutable nrows : int;        (* rows may be dropped when redundant *)
-  allowed : bool array;
+  k : Kernel.t;
   mutable pivots : int;       (* pivot operations over both phases *)
 }
 
-(* Telemetry only observes (counters and a per-solve pivot histogram);
-   all tableau state stays per-call, so the purity/re-entrancy contract
-   documented in docs/ENGINE.md is unaffected. *)
+(* Telemetry only observes (counters and a per-solve pivot histogram). *)
 let solves_counter = Telemetry.Metrics.counter "linprog.solves"
 let pivots_counter = Telemetry.Metrics.counter "linprog.pivots"
 
@@ -41,120 +39,51 @@ let alloc_bytes_counter = Telemetry.Metrics.counter "linprog.alloc_bytes"
 let record_solve t =
   Telemetry.Metrics.incr solves_counter;
   Telemetry.Metrics.add pivots_counter t.pivots;
-  Telemetry.Metrics.observe pivots_per_solve (float_of_int t.pivots)
+  Telemetry.Metrics.observe_int pivots_per_solve t.pivots
 
 let pivot t ~row ~col =
   t.pivots <- t.pivots + 1;
-  let r = t.rows.(row) in
-  let p = r.(col) in
-  for j = 0 to t.ncols do
-    r.(j) <- r.(j) /. p
-  done;
-  for i = 0 to t.nrows - 1 do
-    if i <> row then begin
-      let factor = t.rows.(i).(col) in
-      if factor <> 0. then
-        for j = 0 to t.ncols do
-          t.rows.(i).(j) <- t.rows.(i).(j) -. (factor *. r.(j))
-        done
-    end
-  done;
-  t.basis.(row) <- col
+  Kernel.eliminate t.k ~row ~col
 
-(* One simplex phase: maximise [cost . x] from the current basic feasible
-   solution. Bland's rule: entering = lowest-index column with positive
-   reduced cost; leaving = lowest basis index among ratio-test ties. *)
-let run_phase t cost =
-  let reduced_costs () =
-    (* r_j = c_j - c_B . B^-1 A_j; recomputed from scratch each iteration
-       (the LPs here are tiny, robustness beats speed) *)
-    Array.init t.ncols (fun j ->
-        if not t.allowed.(j) then neg_infinity
-        else begin
-          let acc = ref cost.(j) in
-          for i = 0 to t.nrows - 1 do
-            let cb = cost.(t.basis.(i)) in
-            if cb <> 0. then acc := !acc -. (cb *. t.rows.(i).(j))
-          done;
-          !acc
-        end)
-  in
+(* One simplex phase: maximise the kernel's loaded cost from the
+   current basic feasible solution. Bland's rule: entering =
+   lowest-index column with positive reduced cost; leaving = lowest
+   basis index among ratio-test ties. *)
+let run_phase t =
   let rec loop iter =
     if iter > 10_000 then failwith "Simplex: iteration limit exceeded";
-    let r = reduced_costs () in
-    let entering = ref (-1) in
-    (try
-       for j = 0 to t.ncols - 1 do
-         if r.(j) > eps then begin
-           entering := j;
-           raise Exit
-         end
-       done
-     with Exit -> ());
-    if !entering < 0 then `Optimal
+    Kernel.compute_reduced t.k;
+    let entering = Kernel.price_bland t.k in
+    if entering < 0 then `Optimal
     else begin
-      let col = !entering in
-      let leave = ref (-1) and best = ref infinity in
-      for i = 0 to t.nrows - 1 do
-        let a = t.rows.(i).(col) in
-        if a > eps then begin
-          let ratio = t.rows.(i).(t.ncols) /. a in
-          if
-            ratio < !best -. eps
-            || (abs_float (ratio -. !best) <= eps
-               && !leave >= 0
-               && t.basis.(i) < t.basis.(!leave))
-          then begin
-            best := ratio;
-            leave := i
-          end
-        end
-      done;
-      if !leave < 0 then `Unbounded
+      let leave = Kernel.ratio_leave t.k ~col:entering in
+      if leave < 0 then `Unbounded
       else begin
-        pivot t ~row:!leave ~col;
+        pivot t ~row:leave ~col:entering;
         loop (iter + 1)
       end
     end
   in
   loop 0
 
-let objective_value t cost =
-  let acc = ref 0. in
-  for i = 0 to t.nrows - 1 do
-    let cb = cost.(t.basis.(i)) in
-    if cb <> 0. then acc := !acc +. (cb *. t.rows.(i).(t.ncols))
-  done;
-  !acc
-
-let drop_row t i =
-  if i < t.nrows - 1 then begin
-    t.rows.(i) <- t.rows.(t.nrows - 1);
-    t.basis.(i) <- t.basis.(t.nrows - 1)
-  end;
-  t.nrows <- t.nrows - 1
-
 (* Remove artificial variables from the basis after phase 1. A basic
    artificial sits at value zero; pivot it out on any eligible column, or
    drop the (redundant) row when no such column exists. *)
 let drive_out_artificials t ~first_artificial =
+  let k = t.k in
   let i = ref 0 in
-  while !i < t.nrows do
-    if t.basis.(!i) >= first_artificial then begin
-      let col = ref (-1) in
-      (try
-         for j = 0 to first_artificial - 1 do
-           if abs_float t.rows.(!i).(j) > eps then begin
-             col := j;
-             raise Exit
-           end
-         done
-       with Exit -> ());
+  while !i < Kernel.nrows k do
+    if Kernel.basis k !i >= first_artificial then begin
+      let col = ref (-1) and j = ref 0 in
+      while !col < 0 && !j < first_artificial do
+        if abs_float (Kernel.get k !i !j) > eps then col := !j;
+        incr j
+      done;
       if !col >= 0 then begin
         pivot t ~row:!i ~col:!col;
         incr i
       end
-      else drop_row t !i (* redundant constraint *)
+      else Kernel.drop_row k !i (* redundant constraint *)
     end
     else incr i
   done
@@ -191,71 +120,59 @@ let build_tableau ~nvars ~constrs =
     List.length (List.filter (fun c -> c.relation <> Le) normalised)
   in
   let ncols = first_artificial + n_art in
-  let rows = Array.make_matrix m (ncols + 1) 0. in
-  let basis = Array.make m 0 in
+  let k = Kernel.create ~nrows:m ~ncols in
   let slack = ref first_slack and art = ref first_artificial in
   List.iteri
     (fun i c ->
-      Array.blit c.coeffs 0 rows.(i) 0 nvars;
-      rows.(i).(ncols) <- c.rhs;
+      for j = 0 to nvars - 1 do
+        Kernel.set k i j c.coeffs.(j)
+      done;
+      Kernel.set k i ncols c.rhs;
       (match c.relation with
       | Le ->
-        rows.(i).(!slack) <- 1.;
-        basis.(i) <- !slack;
+        Kernel.set k i !slack 1.;
+        Kernel.set_basis k i !slack;
         incr slack
       | Ge ->
-        rows.(i).(!slack) <- -1.;
+        Kernel.set k i !slack (-1.);
         incr slack;
-        rows.(i).(!art) <- 1.;
-        basis.(i) <- !art;
+        Kernel.set k i !art 1.;
+        Kernel.set_basis k i !art;
         incr art
       | Eq ->
-        rows.(i).(!art) <- 1.;
-        basis.(i) <- !art;
+        Kernel.set k i !art 1.;
+        Kernel.set_basis k i !art;
         incr art))
     normalised;
-  let t =
-    { rows;
-      basis;
-      ncols;
-      nrows = m;
-      allowed = Array.make ncols true;
-      pivots = 0;
-    }
-  in
-  (t, first_artificial)
+  ({ k; pivots = 0 }, first_artificial)
 
 let maximize_impl ~c ~constrs =
   let nvars = Array.length c in
   let t, first_artificial = build_tableau ~nvars ~constrs in
   (* phase 1: maximise -(sum of artificials) *)
-  let phase1_cost = Array.make t.ncols 0. in
-  for j = first_artificial to t.ncols - 1 do
-    phase1_cost.(j) <- -1.
-  done;
-  (match run_phase t phase1_cost with
+  Kernel.load_phase1_cost t.k ~first_artificial;
+  (match run_phase t with
   | `Unbounded -> assert false (* phase-1 objective is bounded above by 0 *)
   | `Optimal -> ());
-  if objective_value t phase1_cost < -.eps then begin
+  if Kernel.objective t.k < -.eps then begin
     record_solve t;
     Infeasible
   end
   else begin
     drive_out_artificials t ~first_artificial;
-    for j = first_artificial to t.ncols - 1 do
-      t.allowed.(j) <- false
-    done;
-    let phase2_cost = Array.make t.ncols 0. in
-    Array.blit c 0 phase2_cost 0 nvars;
+    Kernel.bar_from t.k first_artificial;
+    Kernel.load_cost t.k c nvars;
     let outcome =
-      match run_phase t phase2_cost with
+      match run_phase t with
       | `Unbounded -> Unbounded
       | `Optimal ->
+        let k = t.k in
         let x = Array.make nvars 0. in
-        for i = 0 to t.nrows - 1 do
-          if t.basis.(i) < nvars then x.(t.basis.(i)) <- t.rows.(i).(t.ncols)
+        for i = 0 to Kernel.nrows k - 1 do
+          let b = Kernel.basis k i in
+          if b < nvars then x.(b) <- Kernel.rhs k i
         done;
-        Optimal { x; objective = objective_value t phase2_cost }
+        Optimal { x; objective = Kernel.objective k }
     in
     record_solve t;
     outcome

@@ -12,11 +12,19 @@
    optimal basis is refactorised against the fresh coefficients and, if
    it verifies feasible, phase 1 is skipped there too.
 
+   The numeric core is [Kernel]: a single flat row-major [floatarray]
+   tableau with allocation-free elimination/pricing/ratio loops. On top
+   of it this module keeps only the solve-to-solve state machine
+   (phases, basis carry, telemetry). [reoptimize] preserves the
+   original allocating API; [reoptimize_into] is the zero-allocation
+   variant — solution and objective land in a caller-owned buffer and a
+   warm solve allocates zero words, which the [linprog.alloc_bytes]
+   budget in `bidir check` pins.
+
    Pricing is Dantzig's rule (most positive reduced cost) for speed,
    with an automatic, sticky fallback to Bland's rule after a run of
    degenerate pivots — Bland cannot cycle, so termination is
-   unconditional. All scratch lives in the solver: no per-iteration
-   allocation (cf. the [Array.init] in the reference implementation).
+   unconditional.
 
    A solver is deliberately NOT re-entrant: it mutates itself on every
    call. Give each domain its own instance (the rate-region layer keys
@@ -65,20 +73,16 @@ let record_alloc b0 =
 
 type status = Sat | Unsat
 
+type verdict = Optimal | Unbounded | Infeasible
+
 type t = {
   nvars : int;
   (* geometry of the currently loaded (normalised) system *)
   mutable m : int;                 (* constraint rows as loaded *)
-  mutable nrows : int;             (* active rows (redundant rows drop) *)
-  mutable ncols : int;
   mutable first_artificial : int;
   mutable shape : int array;       (* per-row normalised relation tag *)
-  (* tableau + preallocated scratch, grown on demand by [rebuild] *)
-  mutable rows : float array array; (* m x (ncols + 1), rhs in last col *)
-  mutable basis : int array;
-  mutable allowed : bool array;
-  mutable reduced : float array;
-  mutable cost : float array;
+  (* the flat tableau + all pricing scratch (grown on demand) *)
+  k : Kernel.t;
   mutable saved_basis : int array; (* scratch for basis carry *)
   mutable row_done : bool array;   (* scratch for refactorisation *)
   (* solve-to-solve state *)
@@ -122,180 +126,98 @@ let layout nvars normalised =
   in
   (m, first_artificial, first_artificial + n_art)
 
-(* (Re)load the tableau with [normalised], starting every non-basic
-   slack/artificial row from the standard phase-1 basis. Arrays must
-   already be sized for the system's layout. *)
-let fill t normalised =
-  let ncols = t.ncols in
-  Array.iteri
-    (fun i r ->
-      if i < t.m then Array.fill r 0 (ncols + 1) 0.)
-    t.rows;
+(* (Re)load the kernel with [normalised] at geometry (t.m, ncols),
+   starting every row from the standard phase-1 basis. *)
+let fill t normalised ncols =
+  let k = t.k in
+  Kernel.resize k ~nrows:t.m ~ncols;
+  Kernel.clear k;
   let slack = ref t.nvars and art = ref t.first_artificial in
   List.iteri
     (fun i (c : Simplex.constr) ->
-      let r = t.rows.(i) in
-      Array.blit c.Simplex.coeffs 0 r 0 t.nvars;
-      r.(ncols) <- c.Simplex.rhs;
+      for j = 0 to t.nvars - 1 do
+        Kernel.set k i j c.Simplex.coeffs.(j)
+      done;
+      Kernel.set k i ncols c.Simplex.rhs;
       t.shape.(i) <- rel_tag c.Simplex.relation;
       (match c.Simplex.relation with
       | Le ->
-        r.(!slack) <- 1.;
-        t.basis.(i) <- !slack;
+        Kernel.set k i !slack 1.;
+        Kernel.set_basis k i !slack;
         incr slack
       | Ge ->
-        r.(!slack) <- -1.;
+        Kernel.set k i !slack (-1.);
         incr slack;
-        r.(!art) <- 1.;
-        t.basis.(i) <- !art;
+        Kernel.set k i !art 1.;
+        Kernel.set_basis k i !art;
         incr art
       | Eq ->
-        r.(!art) <- 1.;
-        t.basis.(i) <- !art;
+        Kernel.set k i !art 1.;
+        Kernel.set_basis k i !art;
         incr art))
     normalised;
-  t.nrows <- t.m;
-  Array.fill t.allowed 0 ncols true
+  Kernel.allow_all k
 
 (* ------------------------------------------------------------------ *)
 (* Pivoting                                                            *)
 (* ------------------------------------------------------------------ *)
 
-(* Identical arithmetic to [Simplex.pivot]; only the accounting differs
-   (pivots accumulate until the next recorded solve). *)
-let eliminate t ~row ~col =
-  let r = t.rows.(row) in
-  let p = r.(col) in
-  for j = 0 to t.ncols do
-    r.(j) <- r.(j) /. p
-  done;
-  for i = 0 to t.nrows - 1 do
-    if i <> row then begin
-      let factor = t.rows.(i).(col) in
-      if factor <> 0. then
-        for j = 0 to t.ncols do
-          t.rows.(i).(j) <- t.rows.(i).(j) -. (factor *. r.(j))
-        done
-    end
-  done;
-  t.basis.(row) <- col
-
 let pivot t ~row ~col =
   t.pending_pivots <- t.pending_pivots + 1;
-  eliminate t ~row ~col
+  Kernel.eliminate t.k ~row ~col
 
-let compute_reduced t cost =
-  for j = 0 to t.ncols - 1 do
-    t.reduced.(j) <-
-      (if not t.allowed.(j) then neg_infinity
-       else begin
-         let acc = ref cost.(j) in
-         for i = 0 to t.nrows - 1 do
-           let cb = cost.(t.basis.(i)) in
-           if cb <> 0. then acc := !acc -. (cb *. t.rows.(i).(j))
-         done;
-         !acc
-       end)
-  done
-
-(* One simplex phase from the current basis. Entering column: Dantzig
-   (largest reduced cost, lowest index on ties) until [stall_limit]
-   consecutive degenerate pivots, then Bland (lowest eligible index) for
-   the rest of the phase — Bland cannot cycle, so the phase terminates.
-   Leaving row: minimum ratio, lowest basis index among ties (same rule
-   as the reference implementation). *)
-let run_phase t cost =
+(* One simplex phase from the current basis against the kernel's loaded
+   cost. Entering column: Dantzig (largest reduced cost, lowest index on
+   ties) until [stall_limit] consecutive degenerate pivots, then Bland
+   (lowest eligible index) for the rest of the phase — Bland cannot
+   cycle, so the phase terminates. Leaving row: minimum ratio, lowest
+   basis index among ties (same rule as the reference implementation). *)
+(* Iterative (no local recursive closure: a closure plus the refs it
+   captures would be the only heap blocks left on the warm path).
+   State: 0 = running, 1 = optimal, 2 = unbounded. *)
+let run_phase t =
+  let k = t.k in
   let bland = ref false and stall = ref 0 in
-  let rec loop iter =
-    if iter > 10_000 then failwith "Linprog.Solver: iteration limit exceeded";
-    compute_reduced t cost;
-    let r = t.reduced in
-    let entering = ref (-1) in
-    if !bland then (
-      try
-        for j = 0 to t.ncols - 1 do
-          if r.(j) > eps then begin
-            entering := j;
-            raise Exit
-          end
-        done
-      with Exit -> ())
+  let state = ref 0 and iter = ref 0 in
+  while !state = 0 do
+    if !iter > 10_000 then failwith "Linprog.Solver: iteration limit exceeded";
+    incr iter;
+    Kernel.compute_reduced k;
+    let entering =
+      if !bland then Kernel.price_bland k else Kernel.price_dantzig k
+    in
+    if entering < 0 then state := 1
     else begin
-      let best = ref eps in
-      for j = 0 to t.ncols - 1 do
-        if r.(j) > !best then begin
-          best := r.(j);
-          entering := j
-        end
-      done
-    end;
-    if !entering < 0 then `Optimal
-    else begin
-      let col = !entering in
-      let leave = ref (-1) and best = ref infinity in
-      for i = 0 to t.nrows - 1 do
-        let a = t.rows.(i).(col) in
-        if a > eps then begin
-          let ratio = t.rows.(i).(t.ncols) /. a in
-          if
-            ratio < !best -. eps
-            || (abs_float (ratio -. !best) <= eps
-               && !leave >= 0
-               && t.basis.(i) < t.basis.(!leave))
-          then begin
-            best := ratio;
-            leave := i
-          end
-        end
-      done;
-      if !leave < 0 then `Unbounded
+      let leave = Kernel.ratio_leave k ~col:entering in
+      if leave < 0 then state := 2
       else begin
-        if !best <= eps then begin
+        if Kernel.degenerate k then begin
           incr stall;
           if !stall > t.stall_limit then bland := true
         end
         else stall := 0;
-        pivot t ~row:!leave ~col;
-        loop (iter + 1)
+        pivot t ~row:leave ~col:entering
       end
     end
-  in
-  loop 0
-
-let objective_value t cost =
-  let acc = ref 0. in
-  for i = 0 to t.nrows - 1 do
-    let cb = cost.(t.basis.(i)) in
-    if cb <> 0. then acc := !acc +. (cb *. t.rows.(i).(t.ncols))
   done;
-  !acc
-
-let drop_row t i =
-  if i < t.nrows - 1 then begin
-    t.rows.(i) <- t.rows.(t.nrows - 1);
-    t.basis.(i) <- t.basis.(t.nrows - 1)
-  end;
-  t.nrows <- t.nrows - 1
+  if !state = 1 then `Optimal else `Unbounded
 
 let drive_out_artificials t =
+  let k = t.k in
   let fa = t.first_artificial in
   let i = ref 0 in
-  while !i < t.nrows do
-    if t.basis.(!i) >= fa then begin
-      let col = ref (-1) in
-      (try
-         for j = 0 to fa - 1 do
-           if abs_float t.rows.(!i).(j) > eps then begin
-             col := j;
-             raise Exit
-           end
-         done
-       with Exit -> ());
+  while !i < Kernel.nrows k do
+    if Kernel.basis k !i >= fa then begin
+      let col = ref (-1) and j = ref 0 in
+      while !col < 0 && !j < fa do
+        if abs_float (Kernel.get k !i !j) > eps then col := !j;
+        incr j
+      done;
       if !col >= 0 then begin
         pivot t ~row:!i ~col:!col;
         incr i
       end
-      else drop_row t !i
+      else Kernel.drop_row k !i
     end
     else incr i
   done
@@ -304,19 +226,14 @@ let drive_out_artificials t =
    maximise -(sum of artificials), then drive surviving artificials out
    of the basis and bar them from re-entering. *)
 let phase1 t =
-  Array.fill t.cost 0 t.ncols 0.;
-  for j = t.first_artificial to t.ncols - 1 do
-    t.cost.(j) <- -1.
-  done;
-  (match run_phase t t.cost with
+  Kernel.load_phase1_cost t.k ~first_artificial:t.first_artificial;
+  (match run_phase t with
   | `Unbounded -> assert false (* phase-1 objective is bounded above by 0 *)
   | `Optimal -> ());
-  if objective_value t t.cost < -.eps then t.status <- Unsat
+  if Kernel.objective t.k < -.eps then t.status <- Unsat
   else begin
     drive_out_artificials t;
-    for j = t.first_artificial to t.ncols - 1 do
-      t.allowed.(j) <- false
-    done;
+    Kernel.bar_from t.k t.first_artificial;
     t.status <- Sat
   end
 
@@ -331,15 +248,9 @@ let create_impl ~nvars ~constrs =
   let t =
     { nvars;
       m;
-      nrows = m;
-      ncols;
       first_artificial;
       shape = Array.make m 0;
-      rows = Array.make_matrix m (ncols + 1) 0.;
-      basis = Array.make m 0;
-      allowed = Array.make ncols true;
-      reduced = Array.make ncols 0.;
-      cost = Array.make ncols 0.;
+      k = Kernel.create ~nrows:m ~ncols;
       saved_basis = Array.make m 0;
       row_done = Array.make m false;
       status = Sat;
@@ -349,7 +260,7 @@ let create_impl ~nvars ~constrs =
       stall_limit = 20;
     }
   in
-  fill t normalised;
+  fill t normalised ncols;
   phase1 t;
   t
 
@@ -359,6 +270,7 @@ let create_impl ~nvars ~constrs =
    iterations — they count into [linprog.refactor_eliminations], never
    [linprog.pivots]. Returns false on a (near-)singular basis. *)
 let refactor_basis t =
+  let k = t.k in
   let m = t.m in
   Array.fill t.row_done 0 m false;
   let ok = ref true in
@@ -369,19 +281,19 @@ let refactor_basis t =
       let best = ref singular_tol and br = ref (-1) and bc = ref (-1) in
       for i = 0 to m - 1 do
         if not t.row_done.(i) then
-          for k = step to m - 1 do
-            let a = abs_float t.rows.(i).(t.saved_basis.(k)) in
+          for c = step to m - 1 do
+            let a = abs_float (Kernel.get k i t.saved_basis.(c)) in
             if a > !best then begin
               best := a;
               br := i;
-              bc := k
+              bc := c
             end
           done
       done;
       if !br < 0 then ok := false
       else begin
         Telemetry.Metrics.incr refactor_counter;
-        eliminate t ~row:!br ~col:t.saved_basis.(!bc);
+        Kernel.eliminate k ~row:!br ~col:t.saved_basis.(!bc);
         t.row_done.(!br) <- true;
         let tmp = t.saved_basis.(!bc) in
         t.saved_basis.(!bc) <- t.saved_basis.(step);
@@ -395,9 +307,11 @@ let rebuild_impl t ~constrs =
   let normalised = normalise t.nvars constrs in
   let m, first_artificial, ncols = layout t.nvars normalised in
   let same_shape =
-    t.status = Sat && t.nrows = t.m && m = t.m
+    t.status = Sat
+    && Kernel.nrows t.k = t.m
+    && m = t.m
     && first_artificial = t.first_artificial
-    && ncols = t.ncols
+    && ncols = Kernel.ncols t.k
     && List.for_all2
          (fun (c : Simplex.constr) i -> rel_tag c.Simplex.relation = t.shape.(i))
          normalised
@@ -407,43 +321,38 @@ let rebuild_impl t ~constrs =
      it while nrows = m), so it is a carry candidate whenever the
      column layout is unchanged *)
   let carry = same_shape in
-  if carry then Array.blit t.basis 0 t.saved_basis 0 m;
-  if m <> t.m || ncols <> t.ncols then begin
-    t.rows <- Array.make_matrix m (ncols + 1) 0.;
-    t.basis <- Array.make m 0;
-    t.allowed <- Array.make (max 1 ncols) true;
-    t.reduced <- Array.make (max 1 ncols) 0.;
-    t.cost <- Array.make (max 1 ncols) 0.;
+  if carry then
+    for i = 0 to m - 1 do
+      t.saved_basis.(i) <- Kernel.basis t.k i
+    done;
+  if m <> t.m then begin
     t.shape <- Array.make m 0;
     t.saved_basis <- Array.make m 0;
     t.row_done <- Array.make m false
   end;
   t.m <- m;
-  t.ncols <- ncols;
   t.first_artificial <- first_artificial;
-  fill t normalised;
+  fill t normalised ncols;
   let carried =
     carry
     && refactor_basis t
     &&
     let feas = ref true in
-    for i = 0 to t.nrows - 1 do
-      if t.rows.(i).(t.ncols) < -.rhs_tol then feas := false
+    for i = 0 to Kernel.nrows t.k - 1 do
+      if Kernel.rhs t.k i < -.rhs_tol then feas := false
     done;
     !feas
   in
   if carried then begin
     (* the carried basis is feasible for the new system: phase 1 is
        unnecessary, artificials stay barred *)
-    for j = t.first_artificial to t.ncols - 1 do
-      t.allowed.(j) <- false
-    done;
+    Kernel.bar_from t.k t.first_artificial;
     t.status <- Sat;
     t.warm_next <- true;
     t.skip1_next <- true
   end
   else begin
-    if carry then fill t normalised (* refactorisation clobbered the rows *);
+    if carry then fill t normalised ncols (* refactorisation clobbered the rows *);
     phase1 t;
     t.warm_next <- false;
     t.skip1_next <- false
@@ -453,14 +362,16 @@ let rebuild_impl t ~constrs =
 (* Solving                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* Counters plus the per-solve pivot distributions. [observe_int] keeps
+   this allocation-free, so recording rides inside the zero-alloc warm
+   path without widening its footprint. *)
 let record_solve t =
   Telemetry.Metrics.incr solves_counter;
   Telemetry.Metrics.add pivots_counter t.pending_pivots;
-  Telemetry.Metrics.observe pivots_per_solve (float_of_int t.pending_pivots);
+  Telemetry.Metrics.observe_int pivots_per_solve t.pending_pivots;
   if t.warm_next then begin
     Telemetry.Metrics.incr warm_solves_counter;
-    Telemetry.Metrics.observe pivots_per_warm_solve
-      (float_of_int t.pending_pivots)
+    Telemetry.Metrics.observe_int pivots_per_warm_solve t.pending_pivots
   end;
   if t.skip1_next then Telemetry.Metrics.incr phase1_skipped_counter;
   t.pending_pivots <- 0;
@@ -471,7 +382,8 @@ let record_solve t =
 
 (* IEEE negative zeros can surface in basic-variable values when a
    pivot path approaches a vertex coordinate from below; normalise them
-   so downstream rendering never prints "-0". *)
+   so downstream rendering never prints "-0". ([Kernel.solution_into]
+   applies the same policy to the solution vector.) *)
 let clean v = if v = 0. then 0. else v
 
 let reoptimize_impl t ~c =
@@ -482,21 +394,44 @@ let reoptimize_impl t ~c =
     record_solve t;
     Simplex.Infeasible
   | Sat ->
-    Array.fill t.cost 0 t.ncols 0.;
-    Array.blit c 0 t.cost 0 t.nvars;
-    (match run_phase t t.cost with
+    Kernel.load_cost t.k c t.nvars;
+    (match run_phase t with
     | `Unbounded ->
       record_solve t;
       Simplex.Unbounded
     | `Optimal ->
       let x = Array.make t.nvars 0. in
-      for i = 0 to t.nrows - 1 do
-        if t.basis.(i) < t.nvars then
-          x.(t.basis.(i)) <- clean t.rows.(i).(t.ncols)
-      done;
-      let objective = clean (objective_value t t.cost) in
+      Kernel.solution_into t.k ~nvars:t.nvars ~x;
+      let objective = clean (Kernel.objective t.k) in
       record_solve t;
       Simplex.Optimal { Simplex.x; objective })
+
+(* The zero-allocation warm path: same state machine as [reoptimize],
+   but the solution lands in the caller-owned [x] (objective in
+   [x.(nvars)]) and the verdict is a constant constructor — a warm
+   solve allocates zero words, telemetry included. *)
+let reoptimize_into_impl t ~c ~x =
+  if Array.length c <> t.nvars then
+    invalid_arg "Linprog.Solver.reoptimize_into: objective arity mismatch";
+  if Array.length x < t.nvars + 1 then
+    invalid_arg "Linprog.Solver.reoptimize_into: x must have nvars + 1 slots";
+  match t.status with
+  | Unsat ->
+    record_solve t;
+    Infeasible
+  | Sat ->
+    Kernel.load_cost t.k c t.nvars;
+    (match run_phase t with
+    | `Unbounded ->
+      record_solve t;
+      Unbounded
+    | `Optimal ->
+      Kernel.solution_into t.k ~nvars:t.nvars ~x;
+      Kernel.objective_into t.k x t.nvars;
+      let v = Array.unsafe_get x t.nvars in
+      if v = 0. then Array.unsafe_set x t.nvars 0.;
+      record_solve t;
+      Optimal)
 
 (* Allocation-accounting wrappers around the entry points. The
    disabled path is the plain call — one atomic load, no closure. *)
@@ -525,6 +460,19 @@ let reoptimize t ~c =
     Fun.protect
       ~finally:(fun () -> record_alloc b0)
       (fun () -> reoptimize_impl t ~c)
+  end
+
+(* No [Fun.protect] here: the two closures it would allocate are the
+   difference between ~0 and ~60 bytes per accounted warm solve. The
+   impl only raises on caller errors (arity), where losing one
+   accounting delta is harmless. *)
+let reoptimize_into t ~c ~x =
+  if not (Telemetry.Resource.enabled ()) then reoptimize_into_impl t ~c ~x
+  else begin
+    let b0 = Gc.allocated_bytes () in
+    let r = reoptimize_into_impl t ~c ~x in
+    record_alloc b0;
+    r
   end
 
 let solve_many t cs = List.map (fun c -> reoptimize t ~c) cs

@@ -15,8 +15,11 @@
     sweeps over per-block fading draws, where consecutive systems share
     a binding structure.
 
-    Internals: all scratch buffers are preallocated in the instance (no
-    per-iteration allocation), pricing is Dantzig's most-positive
+    Internals: the numeric core is {!Kernel} — one flat row-major
+    [floatarray] tableau with allocation-free elimination, pricing and
+    ratio-test loops — and all scratch is preallocated in the instance,
+    so a warm {!reoptimize_into} allocates zero words end to end
+    (telemetry included). Pricing is Dantzig's most-positive
     reduced-cost rule with an automatic sticky fallback to Bland's rule
     after a run of degenerate pivots (Bland cannot cycle, so
     termination is unconditional), and the ratio test matches the
@@ -54,6 +57,23 @@ val reoptimize : t -> c:float array -> Simplex.outcome
     phase-1 basis right after {!create}/{!rebuild}). Records one solve
     in telemetry. Returns [Infeasible] immediately when the loaded
     system was proven infeasible. *)
+
+type verdict = Optimal | Unbounded | Infeasible
+(** {!reoptimize_into}'s result — constant constructors only, so
+    returning one never allocates. *)
+
+val reoptimize_into : t -> c:float array -> x:float array -> verdict
+(** Zero-allocation {!reoptimize}: identical pivot path and telemetry,
+    but the solution is written into the caller-owned [x] instead of a
+    fresh [Simplex.solution]. [x] must have at least [nvars t + 1]
+    slots: on [Optimal], [x.(0 .. nvars-1)] receive the optimal point
+    (unused variables zeroed, negative zeros normalised) and
+    [x.(nvars)] the objective value; on [Unbounded]/[Infeasible] the
+    contents of [x] are unspecified. A warm call allocates zero words,
+    which is what keeps the [linprog.alloc_bytes] budget at its floor —
+    callers running sweeps should preallocate [c] and [x] once and
+    reuse them. Raises [Invalid_argument] when [c] or [x] has the
+    wrong arity. *)
 
 val solve_many : t -> float array list -> Simplex.outcome list
 (** Batch [reoptimize], one outcome per objective, in order — each

@@ -1,5 +1,19 @@
 let log2 x = log x /. log 2.
 
+(* Batched AWGN capacity: dst.(i) <- log2 (1 + src.(i)) for the first
+   [n] slots. Each element goes through the same [log2 (1. +. x)]
+   expression as the scalar path (Channel.Awgn.c), so batching is
+   bit-identical to n scalar calls. [src == dst] is fine — slots are
+   independent. *)
+let capacities_into ~src ~dst ~n =
+  if n < 0 || n > Float.Array.length src || n > Float.Array.length dst then
+    invalid_arg "Float_utils.capacities_into: bad length";
+  for i = 0 to n - 1 do
+    let x = Float.Array.unsafe_get src i in
+    if x < 0. then invalid_arg "Float_utils.capacities_into: negative SNR";
+    Float.Array.unsafe_set dst i (log2 (1. +. x))
+  done
+
 let db_to_lin d = 10. ** (d /. 10.)
 
 let lin_to_db x =

@@ -3,6 +3,15 @@
 val log2 : float -> float
 (** [log2 x] is the base-2 logarithm of [x]. *)
 
+val capacities_into : src:floatarray -> dst:floatarray -> n:int -> unit
+(** [capacities_into ~src ~dst ~n] writes the AWGN capacity
+    [log2 (1. +. src.(i))] into [dst.(i)] for [i < n], allocating
+    nothing. Each slot evaluates the exact expression the scalar path
+    ([Channel.Awgn.c]) uses, so results are bit-identical to [n]
+    scalar calls. In-place use ([src == dst]) is supported. Raises
+    [Invalid_argument] when [n] exceeds either buffer or an input SNR
+    is negative. *)
+
 val db_to_lin : float -> float
 (** [db_to_lin d] converts a power ratio expressed in decibels to the
     corresponding linear ratio, i.e. [10. ** (d /. 10.)]. *)

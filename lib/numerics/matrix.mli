@@ -2,7 +2,13 @@
     simplex tableau cross-checks and channel computations. *)
 
 type t
-(** Row-major dense matrix. *)
+(** Row-major dense matrix. Storage is already flat: one contiguous
+    unboxed [float array] indexed [(i * cols) + j] — the same layout
+    discipline as the simplex tableau kernel ([Linprog.Kernel], see
+    "Flat kernel architecture" in [docs/ENGINE.md]), so no nested-row
+    indirection anywhere on these paths. These matrices stay on cold
+    paths (cross-checks, channel setup), so accesses keep their bounds
+    checks. *)
 
 val create : rows:int -> cols:int -> float -> t
 val init : rows:int -> cols:int -> (int -> int -> float) -> t

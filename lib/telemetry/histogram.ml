@@ -8,6 +8,14 @@ type t = {
   sum_cell : float Atomic.t;
   min_cell : float Atomic.t;
   max_cell : float Atomic.t;
+  (* Integer-sample aggregates, kept apart from the float cells: an
+     [int Atomic.t] updates with fetch-and-add / immediate CAS, so
+     [observe_int] never allocates (a [float Atomic.t] boxes every
+     store). Accessors combine both sides; [max_int]/[min_int] mark
+     "no integer sample yet". *)
+  int_sum : int Atomic.t;
+  int_min : int Atomic.t;
+  int_max : int Atomic.t;
 }
 
 let create ?(lo = 1e-6) ?(growth = Float.pow 2. 0.25) ?(buckets = 128) () =
@@ -23,6 +31,9 @@ let create ?(lo = 1e-6) ?(growth = Float.pow 2. 0.25) ?(buckets = 128) () =
     sum_cell = Atomic.make 0.;
     min_cell = Atomic.make infinity;
     max_cell = Atomic.make neg_infinity;
+    int_sum = Atomic.make 0;
+    int_min = Atomic.make max_int;
+    int_max = Atomic.make min_int;
   }
 
 let num_buckets t = t.nbuckets
@@ -70,13 +81,71 @@ let observe t v =
   atomic_update t.min_cell ( < ) v;
   atomic_update t.max_cell ( > ) v
 
+let rec atomic_min_int cell x =
+  let cur = Atomic.get cell in
+  if x < cur && not (Atomic.compare_and_set cell cur x) then
+    atomic_min_int cell x
+
+let rec atomic_max_int cell x =
+  let cur = Atomic.get cell in
+  if x > cur && not (Atomic.compare_and_set cell cur x) then
+    atomic_max_int cell x
+
+(* Allocation-free [observe] for non-negative integer samples (pivot
+   counts, event totals): the bucket index is [bucket_index]'s
+   arithmetic hand-inlined on unboxed locals, and all aggregate cells
+   are int atomics. Negative samples clamp to 0 like [observe]. Buckets
+   and aggregates agree exactly with [observe (float_of_int n)] for any
+   sample that fits a float (|n| < 2^53). *)
+let observe_int t n =
+  let n = if n < 0 then 0 else n in
+  let v = float_of_int n in
+  let i =
+    if v < t.lo then 0
+    else begin
+      let raw =
+        1 + int_of_float (Float.floor (log (v /. t.lo) /. t.log_growth))
+      in
+      let i = max 1 (min (t.nbuckets - 1) raw) in
+      let i =
+        if i > 1 && v < t.lo *. Float.pow t.growth (float_of_int (i - 1)) then
+          i - 1
+        else i
+      in
+      if
+        i < t.nbuckets - 1
+        && v >= t.lo *. Float.pow t.growth (float_of_int i)
+      then i + 1
+      else i
+    end
+  in
+  Atomic.incr (Array.unsafe_get t.counts i);
+  Atomic.incr t.total;
+  ignore (Atomic.fetch_and_add t.int_sum n : int);
+  atomic_min_int t.int_min n;
+  atomic_max_int t.int_max n
+
 let underflow_count t = Atomic.get t.counts.(0)
 
 let count t = Atomic.get t.total
-let sum t = Atomic.get t.sum_cell
+let sum t = Atomic.get t.sum_cell +. float_of_int (Atomic.get t.int_sum)
 let mean t = if count t = 0 then 0. else sum t /. float_of_int (count t)
-let min_value t = if count t = 0 then 0. else Atomic.get t.min_cell
-let max_value t = if count t = 0 then 0. else Atomic.get t.max_cell
+
+let min_value t =
+  if count t = 0 then 0.
+  else begin
+    let fm = Atomic.get t.min_cell in
+    let im = Atomic.get t.int_min in
+    if im = max_int then fm else Float.min fm (float_of_int im)
+  end
+
+let max_value t =
+  if count t = 0 then 0.
+  else begin
+    let fm = Atomic.get t.max_cell in
+    let im = Atomic.get t.int_max in
+    if im = min_int then fm else Float.max fm (float_of_int im)
+  end
 
 let quantile t p =
   let n = count t in
@@ -106,6 +175,18 @@ let percentiles t = (quantile t 0.5, quantile t 0.9, quantile t 0.99)
 let same_geometry a b =
   a.lo = b.lo && a.growth = b.growth && a.nbuckets = b.nbuckets
 
+(* Combined float+int extremes with the empty sentinels preserved
+   (unlike [min_value]/[max_value], which report 0 on empty). *)
+let raw_min t =
+  let fm = Atomic.get t.min_cell in
+  let im = Atomic.get t.int_min in
+  if im = max_int then fm else Float.min fm (float_of_int im)
+
+let raw_max t =
+  let fm = Atomic.get t.max_cell in
+  let im = Atomic.get t.int_max in
+  if im = min_int then fm else Float.max fm (float_of_int im)
+
 let merge a b =
   if not (same_geometry a b) then
     invalid_arg "Histogram.merge: geometry mismatch";
@@ -115,8 +196,8 @@ let merge a b =
   done;
   Atomic.set t.total (count a + count b);
   Atomic.set t.sum_cell (sum a +. sum b);
-  Atomic.set t.min_cell (Float.min (Atomic.get a.min_cell) (Atomic.get b.min_cell));
-  Atomic.set t.max_cell (Float.max (Atomic.get a.max_cell) (Atomic.get b.max_cell));
+  Atomic.set t.min_cell (Float.min (raw_min a) (raw_min b));
+  Atomic.set t.max_cell (Float.max (raw_max a) (raw_max b));
   t
 
 let reset t =
@@ -124,7 +205,10 @@ let reset t =
   Atomic.set t.total 0;
   Atomic.set t.sum_cell 0.;
   Atomic.set t.min_cell infinity;
-  Atomic.set t.max_cell neg_infinity
+  Atomic.set t.max_cell neg_infinity;
+  Atomic.set t.int_sum 0;
+  Atomic.set t.int_min max_int;
+  Atomic.set t.int_max min_int
 
 let bucket_counts t = Array.map Atomic.get t.counts
 
@@ -163,6 +247,9 @@ let copy t =
   Atomic.set c.sum_cell (Atomic.get t.sum_cell);
   Atomic.set c.min_cell (Atomic.get t.min_cell);
   Atomic.set c.max_cell (Atomic.get t.max_cell);
+  Atomic.set c.int_sum (Atomic.get t.int_sum);
+  Atomic.set c.int_min (Atomic.get t.int_min);
+  Atomic.set c.int_max (Atomic.get t.int_max);
   c
 
 (* Full-state serialisation (geometry + every non-empty bucket by
@@ -187,10 +274,7 @@ let to_json_state t =
   in
   let extremes =
     if count t = 0 then []
-    else
-      [ ("min", Json.Float (Atomic.get t.min_cell));
-        ("max", Json.Float (Atomic.get t.max_cell));
-      ]
+    else [ ("min", Json.Float (raw_min t)); ("max", Json.Float (raw_max t)) ]
   in
   Json.Obj (base @ extremes)
 

@@ -35,6 +35,15 @@ val observe : t -> float -> unit
     that bucket clamp to the observed minimum. All recorded state is
     therefore finite. *)
 
+val observe_int : t -> int -> unit
+(** Record one non-negative integer sample without allocating a single
+    word: bucket, count, sum, min and max all live in int atomic cells
+    on this path, so it is safe inside allocation-budgeted hot loops
+    (the LP solver's per-solve pivot accounting). Negative samples
+    clamp to 0 like {!observe}. For any [n] representable in a float,
+    [observe_int t n] and [observe t (float_of_int n)] are
+    indistinguishable through every accessor. *)
+
 val underflow_count : t -> int
 (** Samples that landed in the underflow bucket — sub-[lo] values plus
     clamped invalid (NaN/infinite/negative) observations. *)

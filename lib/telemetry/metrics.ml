@@ -40,6 +40,7 @@ let histogram ?lo ?growth ?buckets name =
         h)
 
 let observe = Histogram.observe
+let observe_int = Histogram.observe_int
 
 let time h f =
   let t0 = Unix.gettimeofday () in

@@ -25,6 +25,10 @@ val histogram :
 
 val observe : Histogram.t -> float -> unit
 
+val observe_int : Histogram.t -> int -> unit
+(** Allocation-free integer observation — see
+    {!Histogram.observe_int}. *)
+
 val time : Histogram.t -> (unit -> 'a) -> 'a
 (** Run the thunk and observe its wall-clock duration in seconds (also
     on exceptions). *)

@@ -125,6 +125,9 @@ let time_metric name =
 let budget_counters =
   [ "linprog.pivots"; "linprog.refactor_eliminations";
     "network.assignment_pivots"; "linprog.alloc_bytes";
+    (* flat-kernel element updates (pivot row scale + eliminations):
+       the FLOP-scale work budget behind linprog.pivots *)
+    "linprog.kernel_row_ops";
     (* live streaming must never lose events on the check workload:
        0 = 0 passes, and any drop regresses one-sided *)
     "telemetry.stream.dropped_events" ]

@@ -127,6 +127,25 @@ let test_fig3_identical_across_domains () =
   check_same_points "domains 1 vs 2" base (run 2);
   check_same_points "domains 1 vs 4" base (run 4)
 
+(* fig4 is the LP-heavy artifact: every series is a rate-region
+   boundary, so this drives the flat-kernel solver, the warm
+   [reoptimize_into] slots and the flat dedup buffers end to end. The
+   byte-identity contract is on the RENDERED artifacts (what `figures
+   all --out` writes and CI diffs across domain counts): raw vertex
+   coordinates may differ in the last few ulps between warm-start
+   sequences, but the published txt/csv bytes must not. *)
+let test_fig4_identical_across_domains () =
+  let run domains =
+    with_domains domains (fun () ->
+        Bidir.Rate_region.clear_cache ();
+        let f = Bidir.Figures.fig4 ~power_db:10. () in
+        (Report.render_figure f, Report.figure_csv f))
+  in
+  let txt1, csv1 = run 1 in
+  let txt4, csv4 = run 4 in
+  Alcotest.(check string) "fig4 txt domains 1 vs 4" txt1 txt4;
+  Alcotest.(check string) "fig4 csv domains 1 vs 4" csv1 csv4
+
 let test_cache_on_off_agree () =
   let points enabled =
     Engine.Memo.with_enabled enabled (fun () ->
@@ -165,6 +184,7 @@ let suites =
       ] );
     ( "engine.determinism",
       [ Alcotest.test_case "fig3 identical across domains" `Quick test_fig3_identical_across_domains;
+        Alcotest.test_case "fig4 identical across domains" `Quick test_fig4_identical_across_domains;
         Alcotest.test_case "cache on/off agree" `Quick test_cache_on_off_agree;
         Alcotest.test_case "crossover_table hits cache" `Quick test_crossover_hits_cache;
       ] );

@@ -518,6 +518,94 @@ let test_solver_stress_basis_carry () =
     true
     (warm_pivots <= cold_pivots)
 
+(* ------------------------------------------------------------------ *)
+(* Flat-kernel zero-allocation API: reoptimize_into                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The into-API against the cold reference, across all three outcome
+   classes (objective lands in x.(nvars)). *)
+let prop_reoptimize_into_matches_simplex =
+  QCheck.Test.make ~count:500
+    ~name:"Solver.reoptimize_into = Simplex.maximize (mixed Le/Ge)"
+    lp_mixed_gen (fun ((c1, c2), rows) ->
+      let constrs = mixed_constrs rows in
+      let c = [| c1; c2 |] in
+      let solver = Linprog.Solver.create ~nvars:2 ~constrs in
+      let x = Array.make 3 0. in
+      match (Linprog.Solver.reoptimize_into solver ~c ~x, solve_max c constrs)
+      with
+      | Linprog.Solver.Optimal, Linprog.Simplex.Optimal s ->
+        let o1 = x.(2) and o2 = s.Linprog.Simplex.objective in
+        abs_float (o1 -. o2)
+        <= 1e-9 *. (1. +. Float.max (abs_float o1) (abs_float o2))
+      | Linprog.Solver.Unbounded, Linprog.Simplex.Unbounded -> true
+      | Linprog.Solver.Infeasible, Linprog.Simplex.Infeasible -> true
+      | _ -> false)
+
+(* Warm sweep: the into-API and the allocating API run the same kernel
+   pivot path, so they must agree bitwise — verdicts, solution vector
+   and objective — on every solve of the sequence. *)
+let prop_reoptimize_into_matches_reoptimize =
+  QCheck.Test.make ~count:200
+    ~name:"warm reoptimize_into sweep = reoptimize sweep (bitwise)"
+    objective_seq_gen (fun (((c1, c2), rows), cs) ->
+      let constrs = mixed_constrs rows in
+      let s_into = Linprog.Solver.create ~nvars:2 ~constrs in
+      let s_ref = Linprog.Solver.create ~nvars:2 ~constrs in
+      let x = Array.make 3 0. in
+      List.for_all
+        (fun (a, b) ->
+          let c = [| a; b |] in
+          match
+            ( Linprog.Solver.reoptimize_into s_into ~c ~x,
+              Linprog.Solver.reoptimize s_ref ~c )
+          with
+          | Linprog.Solver.Optimal, Linprog.Simplex.Optimal s ->
+            x.(2) = s.Linprog.Simplex.objective
+            && x.(0) = s.Linprog.Simplex.x.(0)
+            && x.(1) = s.Linprog.Simplex.x.(1)
+          | Linprog.Solver.Unbounded, Linprog.Simplex.Unbounded -> true
+          | Linprog.Solver.Infeasible, Linprog.Simplex.Infeasible -> true
+          | _ -> false)
+        ((c1, c2) :: cs))
+
+(* The headline property of the flat kernel: a warm [reoptimize_into]
+   allocates zero words — tableau, scratch, pricing, telemetry and the
+   solution hand-off all live in preallocated buffers. The only
+   allowance is the boxing inside [Gc.allocated_bytes] itself (~a
+   dozen bytes for the measurement pair), so the budget is under two
+   words PER SWEEP, not per solve — a single heap block anywhere on
+   the warm path of any of the 64 solves fails it (the historical
+   nested-array engine allocated ~59 B/solve). *)
+let test_reoptimize_into_zero_alloc () =
+  let nvars = 5 and nrows = 7 and n = 64 in
+  let rng = Prob.Rng.create ~seed:99 in
+  let constrs =
+    List.init nrows (fun _ ->
+        let coeffs =
+          Array.init nvars (fun _ -> Prob.Rng.float_range rng ~lo:0.1 ~hi:2.)
+        in
+        c_ coeffs le (Prob.Rng.float_range rng ~lo:1. ~hi:5.))
+  in
+  let objectives =
+    Array.init n (fun _ ->
+        Array.init nvars (fun _ -> Prob.Rng.float_range rng ~lo:0.1 ~hi:1.))
+  in
+  let solver = Linprog.Solver.create ~nvars ~constrs in
+  let x = Array.make (nvars + 1) 0. in
+  (* warm pass: settle the basis, fault in every code path *)
+  for i = 0 to n - 1 do
+    ignore (Linprog.Solver.reoptimize_into solver ~c:objectives.(i) ~x)
+  done;
+  let b0 = Gc.allocated_bytes () in
+  for i = 0 to n - 1 do
+    ignore (Linprog.Solver.reoptimize_into solver ~c:objectives.(i) ~x)
+  done;
+  let delta = Gc.allocated_bytes () -. b0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.0f bytes allocated across %d warm solves" delta n)
+    true (delta < 32.)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_simplex_matches_brute_force;
@@ -529,6 +617,8 @@ let qcheck_cases =
       prop_solver_matches_simplex;
       prop_solver_objective_sequence;
       prop_solver_rebuild_matches_fresh;
+      prop_reoptimize_into_matches_simplex;
+      prop_reoptimize_into_matches_reoptimize;
     ]
 
 let suites =
@@ -556,6 +646,8 @@ let suites =
     ( "linprog.solver",
       [ Alcotest.test_case "120-system basis-carry stress" `Quick
           test_solver_stress_basis_carry;
+        Alcotest.test_case "warm reoptimize_into allocates zero words" `Quick
+          test_reoptimize_into_zero_alloc;
       ] );
     ("linprog.properties", qcheck_cases);
   ]

@@ -153,6 +153,44 @@ let merge_associative =
       && H.min_value l = H.min_value r
       && H.max_value l = H.max_value r)
 
+(* [observe_int] is the allocation-free path the LP engine feeds pivot
+   counts through; it must be indistinguishable from observing the
+   same value as a float through every accessor (integer counts are
+   float-exact far past any realistic pivot total). *)
+let observe_int_matches_observe =
+  let sample = QCheck.(list (int_bound 5000)) in
+  QCheck.Test.make ~count:300 ~name:"observe_int equals observe on ints"
+    sample (fun ns ->
+      let hi = H.create ~lo:1. ~growth:2. ~buckets:24 () in
+      let hf = H.create ~lo:1. ~growth:2. ~buckets:24 () in
+      List.iter (H.observe_int hi) ns;
+      List.iter (fun n -> H.observe hf (float_of_int n)) ns;
+      H.bucket_counts hi = H.bucket_counts hf
+      && H.count hi = H.count hf
+      && H.sum hi = H.sum hf
+      && H.min_value hi = H.min_value hf
+      && H.max_value hi = H.max_value hf
+      && H.percentiles hi = H.percentiles hf
+      && J.to_string (H.to_json_state hi) = J.to_string (H.to_json_state hf))
+
+let test_observe_int_mixed () =
+  (* int and float observations interleave on one histogram; negatives
+     clamp to zero exactly like [observe] *)
+  let h = H.create ~lo:1. ~growth:2. ~buckets:24 () in
+  H.observe_int h 3;
+  H.observe h 0.5;
+  H.observe_int h (-2);
+  Alcotest.(check int) "count" 3 (H.count h);
+  feq "sum" 3.5 (H.sum h);
+  feq "min" 0. (H.min_value h);
+  feq "max" 3. (H.max_value h);
+  let h' = H.copy h in
+  Alcotest.(check int) "copy carries int cells" (H.count h) (H.count h');
+  feq "copy sum" (H.sum h) (H.sum h');
+  H.reset h;
+  Alcotest.(check int) "reset clears int cells" 0 (H.count h);
+  feq "reset sum" 0. (H.sum h)
+
 (* ------------------------------------------------------------------ *)
 (* Metrics registry                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -1081,6 +1119,9 @@ let suites =
         Alcotest.test_case "merge rejects geometry mismatch" `Quick
           test_hist_merge_geometry_mismatch;
         QCheck_alcotest.to_alcotest merge_associative;
+        QCheck_alcotest.to_alcotest observe_int_matches_observe;
+        Alcotest.test_case "observe_int mixes with observe" `Quick
+          test_observe_int_mixed;
       ] );
     ( "telemetry.metrics",
       [ Alcotest.test_case "registry" `Quick test_metrics_registry ] );
