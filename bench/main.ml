@@ -1005,6 +1005,49 @@ let network_comparison () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Serve: batched query service, cold vs warm cache                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving plane's admission cache measured in-process: the full
+   served scenario grid evaluated twice through
+   [Serve.Service.respond_batch] — once against cleared memo tables
+   (every query runs its LPs on the pool), once fully warm (every
+   query is a rendered-response cache hit). The ratio is the headline
+   the daemon's steady state rides on; identical response bytes across
+   the two passes gate the cache against staleness. *)
+let serve_comparison () =
+  hr "SERVE: batched query service, cold vs warm cache";
+  let pool =
+    Serve.Scenarios.pool Serve.Query.Sumrate
+    @ Serve.Scenarios.pool Serve.Query.Select
+    @ Serve.Scenarios.pool Serve.Query.Region
+  in
+  let n = List.length pool in
+  Engine.Memo.clear_all ();
+  let t0 = Unix.gettimeofday () in
+  let cold = Serve.Service.respond_batch pool in
+  let t1 = Unix.gettimeofday () in
+  let warm = Serve.Service.respond_batch pool in
+  let t2 = Unix.gettimeofday () in
+  let cold_dt = t1 -. t0 and warm_dt = t2 -. t1 in
+  let identical = List.for_all2 String.equal cold warm in
+  let speedup = if warm_dt > 0. then cold_dt /. warm_dt else 0. in
+  Printf.printf
+    "%d queries: cold %7.2f ms, warm %7.3f ms (speedup %6.1fx, responses %s)\n"
+    n (1000. *. cold_dt) (1000. *. warm_dt) speedup
+    (if identical then "identical" else "DIFFER");
+  Telemetry.Json.Obj
+    [ ("queries", Telemetry.Json.Int n);
+      ("cold_seconds", Telemetry.Json.Float cold_dt);
+      ("warm_seconds", Telemetry.Json.Float warm_dt);
+      ("serve_cache_speedup", Telemetry.Json.Float speedup);
+      ( "serve_warm_qps",
+        Telemetry.Json.Float
+          (if warm_dt > 0. then float_of_int n /. warm_dt else 0.) );
+      ("serve_responses_identical", Telemetry.Json.Bool identical);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1140,7 +1183,8 @@ let bench_json_path = "BENCH_engine.json"
    phase wall times and full telemetry registry (histograms with
    p50/p90/p99), plus the engine-comparison timings. Tracking these
    files across commits gives the performance trajectory of the repo. *)
-let write_bench_json ~repro_stats ~repro_telemetry ~comparison ~lp ~kernel =
+let write_bench_json ~repro_stats ~repro_telemetry ~comparison ~lp ~kernel
+    ~serve =
   let s : Engine.Stats.snapshot = repro_stats in
   let json =
     Telemetry.Json.Obj
@@ -1162,6 +1206,7 @@ let write_bench_json ~repro_stats ~repro_telemetry ~comparison ~lp ~kernel =
         ("engine_comparison", comparison);
         ("lp_comparison", lp);
         ("kernel_comparison", kernel);
+        ("serve_comparison", serve);
       ]
   in
   let oc = open_out bench_json_path in
@@ -1219,7 +1264,7 @@ let trajectory_path = "BENCH_trajectory.jsonl"
    trajectory across commits; the full-fidelity baseline for `bidir
    check` style diffing lives in BENCH_snapshot.json. *)
 let append_trajectory ~(snapshot : Telemetry.Snapshot.t) ~comparison ~lp
-    ~kernel ~campaign ~queue ~network =
+    ~kernel ~campaign ~queue ~network ~serve =
   let hist_summary h =
     Telemetry.Json.Obj
       [ ("count", Telemetry.Json.Int (Telemetry.Histogram.count h));
@@ -1297,7 +1342,14 @@ let append_trajectory ~(snapshot : Telemetry.Snapshot.t) ~comparison ~lp
             | Some v -> [ (key, v) ]
             | None -> [])
           [ "network_sum_rate"; "network_assignment_pivots";
-            "network_greedy_lp_gap" ])
+            "network_greedy_lp_gap" ]
+      @ List.concat_map
+          (fun key ->
+            match Telemetry.Json.member key serve with
+            | Some v -> [ (key, v) ]
+            | None -> [])
+          [ "serve_cache_speedup"; "serve_warm_qps";
+            "serve_responses_identical" ])
   in
   let oc =
     open_out_gen [ Open_append; Open_creat ] 0o644 trajectory_path
@@ -1327,11 +1379,13 @@ let () =
   let campaign = campaign_comparison () in
   let queue = queue_comparison () in
   let network = network_comparison () in
-  write_bench_json ~repro_stats ~repro_telemetry ~comparison ~lp ~kernel;
+  let serve = serve_comparison () in
+  write_bench_json ~repro_stats ~repro_telemetry ~comparison ~lp ~kernel
+    ~serve;
   write_campaign_json ~campaign ~queue;
   write_network_json ~network;
   append_trajectory ~snapshot:repro_snapshot ~comparison ~lp ~kernel ~campaign
-    ~queue ~network;
+    ~queue ~network ~serve;
   if not quick then begin
     (* time the real kernels, not cache lookups *)
     Engine.Memo.with_enabled false run_benchmarks

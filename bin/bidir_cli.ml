@@ -1045,7 +1045,31 @@ let check_workload () =
           : Network.Assign.solution);
       ignore
         (Network.Assign.solve_table Network.Assign.Greedy table
-          : Network.Assign.solution))
+          : Network.Assign.solution));
+  (* the serving layer's admission path: a fixed 16-query pool fed
+     twice in batches of 8 — the first pass is all cache misses, the
+     second all hits — so serve.requests (32), serve.cache_hits (16),
+     serve.cache_misses (16) and the batch-size histogram gate
+     exactly, while serve.request_seconds stays in the wall-time
+     band *)
+  Engine.Stats.timed "check:serve" (fun () ->
+      let pool = Serve.Scenarios.check_pool () in
+      let rec batches = function
+        | [] -> []
+        | qs ->
+          let rec take n = function
+            | x :: rest when n > 0 ->
+              let h, t = take (n - 1) rest in
+              (x :: h, t)
+            | rest -> ([], rest)
+          in
+          let batch, rest = take 8 qs in
+          batch :: batches rest
+      in
+      List.iter
+        (fun batch ->
+          ignore (Serve.Service.respond_batch batch : string list))
+        (batches (pool @ pool)))
 
 let check_cmd =
   let against_arg =
@@ -1149,6 +1173,262 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc ~man)
     Term.(const run $ against_arg $ tolerance_arg $ update_arg $ report_arg
           $ label_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve / loadgen                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"ADDR"
+             ~doc:"Bind address (default 127.0.0.1).")
+  in
+  let port_arg =
+    Arg.(value & opt int 8090
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"TCP port to listen on; 0 picks an ephemeral port \
+                   (default 8090).")
+  in
+  let port_file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "port-file" ] ~docv:"FILE"
+             ~doc:"Write the bound port to $(docv) once listening — how \
+                   scripts discover an ephemeral $(b,--port) 0.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 64
+         & info [ "batch-max" ] ~docv:"N"
+             ~doc:"Admit at most $(docv) queries per pool batch \
+                   (default 64).")
+  in
+  let max_requests_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-requests" ] ~docv:"N"
+             ~doc:"Exit after answering $(docv) query requests (for \
+                   bounded smoke runs).")
+  in
+  let no_shutdown_arg =
+    Arg.(value & flag
+         & info [ "no-shutdown-endpoint" ]
+             ~doc:"Do not serve POST /shutdown (run until killed or \
+                   $(b,--max-requests)).")
+  in
+  let run engine host port port_file batch_max max_requests no_shutdown =
+    with_engine engine @@ fun () ->
+    if batch_max < 1 then begin
+      Printf.eprintf "--batch-max must be >= 1\n";
+      exit 2
+    end;
+    Engine.Pool.prewarm ();
+    ignore
+      (Serve.Server.run
+         { Serve.Server.host; port; port_file; batch_max; max_requests;
+           allow_shutdown = not no_shutdown; quiet = false }
+        : int)
+  in
+  let doc = "Run the long-lived HTTP query-serving daemon." in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Serves rate-region, protocol-selection and sum-rate queries \
+          as JSON over a dependency-free HTTP/1.1 loop. Queries are \
+          admitted through a memo-backed response cache; the misses of \
+          each round are deduplicated and evaluated in one \
+          $(b,--domains)-wide pool batch on warm per-domain LP solver \
+          slots, so the steady-state path allocates near zero.";
+      `P "Endpoints: GET /v1/sumrate, /v1/select, /v1/region (URL \
+          parameters power_db, g_ab, g_ar, g_br, bound, protocol, \
+          weights), POST /v1/query (same fields as a JSON body with \
+          \"kind\"), GET /healthz, GET /metrics, POST /shutdown. \
+          Responses are pure functions of the query — no timestamps, \
+          floats quantized at 1e-6 — so identical queries are \
+          byte-identical at any domain count.";
+      `P "Observability rides the engine flags: $(b,--metrics) dumps \
+          the serve.* counters and latency histogram on exit, \
+          $(b,--live) streams them for $(b,bidir top), $(b,--trace) \
+          records the batch spans. See docs/SERVING.md.";
+    ]
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(const run $ engine_args () $ host_arg $ port_arg $ port_file_arg
+          $ batch_arg $ max_requests_arg $ no_shutdown_arg)
+
+let loadgen_cmd =
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"ADDR" ~doc:"Daemon address.")
+  in
+  let port_arg =
+    Arg.(value & opt int 8090
+         & info [ "port" ] ~docv:"PORT" ~doc:"Daemon port (default 8090).")
+  in
+  let port_file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "port-file" ] ~docv:"FILE"
+             ~doc:"Read the port from $(docv) (written by $(b,bidir \
+                   serve --port-file)); polls until the file appears.")
+  in
+  let clients_arg =
+    Arg.(value & opt int 4
+         & info [ "clients" ] ~docv:"N"
+             ~doc:"Concurrent client domains (default 4).")
+  in
+  let requests_arg =
+    Arg.(value & opt int 200
+         & info [ "n"; "requests" ] ~docv:"N"
+             ~doc:"Total requests across all clients (default 200).")
+  in
+  let rate_arg =
+    Arg.(value & opt float 0.
+         & info [ "rate" ] ~docv:"QPS"
+             ~doc:"Aggregate Poisson arrival rate in requests/second; \
+                   0 (default) runs a closed loop as fast as the daemon \
+                   answers.")
+  in
+  let mix_arg =
+    Arg.(value & opt string "sumrate=3,select=2,region=1"
+         & info [ "mix" ] ~docv:"SPEC"
+             ~doc:"Query-kind mix, e.g. sumrate=3,select=2,region=1.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Traffic seed: equal seeds replay the identical \
+                   request stream (default 1).")
+  in
+  let out_arg =
+    Arg.(value & opt string "BENCH_serve.json"
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the bidir-bench-serve/1 report to $(docv) \
+                   (default BENCH_serve.json).")
+  in
+  let dump_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dump" ] ~docv:"FILE"
+             ~doc:"Dump every (query key, response body) pair as JSONL \
+                   in client-major order — byte-stable for a given \
+                   seed, so CI can diff runs against daemons at \
+                   different $(b,--domains).")
+  in
+  let shutdown_arg =
+    Arg.(value & flag
+         & info [ "shutdown" ]
+             ~doc:"POST /shutdown to the daemon when done.")
+  in
+  let no_trajectory_arg =
+    Arg.(value & flag
+         & info [ "no-trajectory" ]
+             ~doc:"Do not append a bidir-trajectory/1 line to \
+                   BENCH_trajectory.jsonl.")
+  in
+  let connect_timeout_arg =
+    Arg.(value & opt float 10.
+         & info [ "connect-timeout" ] ~docv:"SECONDS"
+             ~doc:"How long to retry the first connect while the \
+                   daemon starts (default 10).")
+  in
+  let read_port_file path timeout =
+    let deadline = Unix.gettimeofday () +. timeout in
+    let rec go () =
+      let port =
+        match open_in path with
+        | exception Sys_error _ -> None
+        | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              match input_line ic with
+              | line -> int_of_string_opt (String.trim line)
+              | exception End_of_file -> None)
+      in
+      match port with
+      | Some p -> p
+      | None ->
+        if Unix.gettimeofday () < deadline then begin
+          Unix.sleepf 0.05;
+          go ()
+        end
+        else begin
+          Printf.eprintf "loadgen: no port in %s after %.0fs\n" path timeout;
+          exit 2
+        end
+    in
+    go ()
+  in
+  let run host port port_file clients requests rate mix seed out dump
+      shutdown no_trajectory connect_timeout =
+    let mix =
+      match Serve.Scenarios.mix_of_string mix with
+      | Ok m -> m
+      | Error e ->
+        Printf.eprintf "--mix: %s\n" e;
+        exit 2
+    in
+    let port =
+      match port_file with
+      | Some path -> read_port_file path connect_timeout
+      | None -> port
+    in
+    let cfg =
+      { Serve.Loadgen.host; port; clients; requests; rate; mix; seed;
+        connect_timeout; dump; shutdown }
+    in
+    let r = Serve.Loadgen.run cfg in
+    write_file out
+      (Telemetry.Json.to_string_pretty (Serve.Loadgen.result_to_json cfg r)
+       ^ "\n");
+    if not no_trajectory then begin
+      let line =
+        Telemetry.Json.Obj
+          [ ("schema", Telemetry.Json.String "bidir-trajectory/1");
+            ("ts", Telemetry.Json.Float (Unix.gettimeofday ()));
+            ("label", Telemetry.Json.String "loadgen");
+            ("serve_qps", Telemetry.Json.Float r.Serve.Loadgen.qps);
+            ("serve_p50", Telemetry.Json.Float r.Serve.Loadgen.p50);
+            ("serve_p90", Telemetry.Json.Float r.Serve.Loadgen.p90);
+            ("serve_p99", Telemetry.Json.Float r.Serve.Loadgen.p99);
+            ("serve_ok", Telemetry.Json.Int r.Serve.Loadgen.ok);
+            ("serve_failed", Telemetry.Json.Int r.Serve.Loadgen.failed);
+            ( "server",
+              Telemetry.Json.Obj
+                (List.map
+                   (fun (k, v) -> (k, Telemetry.Json.Int v))
+                   r.Serve.Loadgen.server_counters) );
+          ]
+      in
+      let oc =
+        open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_trajectory.jsonl"
+      in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Telemetry.Json.to_string line ^ "\n"))
+    end;
+    Printf.printf
+      "loadgen: %d ok, %d failed — %.1f req/s, p50 %.2f ms, p99 %.2f ms\n"
+      r.Serve.Loadgen.ok r.Serve.Loadgen.failed r.Serve.Loadgen.qps
+      (1e3 *. r.Serve.Loadgen.p50)
+      (1e3 *. r.Serve.Loadgen.p99);
+    Printf.printf "loadgen: wrote %s\n" out;
+    if r.Serve.Loadgen.failed > 0 then exit 1
+  in
+  let doc = "Replay deterministic synthetic traffic against bidir serve." in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Spawns $(b,--clients) keep-alive HTTP clients that replay a \
+          seeded query stream drawn from $(b,--mix) (alternating GET \
+          and POST framing), measures client-observed latency, fetches \
+          the daemon's serve.* counters from /metrics, and writes \
+          queries/sec plus p50/p90/p99 to $(b,--out) and the \
+          BENCH_trajectory.jsonl line.";
+      `P "Exits 1 when any request failed, so CI smoke runs assert \
+          zero failures by exit code.";
+    ]
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc ~man)
+    Term.(const run $ host_arg $ port_arg $ port_file_arg $ clients_arg
+          $ requests_arg $ rate_arg $ mix_arg $ seed_arg $ out_arg $ dump_arg
+          $ shutdown_arg $ no_trajectory_arg $ connect_timeout_arg)
 
 (* ------------------------------------------------------------------ *)
 (* top                                                                 *)
@@ -1283,8 +1563,8 @@ let main_cmd =
   let info = Cmd.info "bidir" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ figures_cmd; sumrate_cmd; region_cmd; simulate_cmd; sweep_cmd;
-      select_cmd; arq_cmd; profile_cmd; campaign_cmd; network_cmd; top_cmd;
-      check_cmd ]
+      select_cmd; arq_cmd; profile_cmd; campaign_cmd; network_cmd; serve_cmd;
+      loadgen_cmd; top_cmd; check_cmd ]
 
 let () =
   Fmt_tty.setup_std_outputs ();

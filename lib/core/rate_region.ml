@@ -177,11 +177,17 @@ let max_weighted_keyed ~key b ~wa ~wb =
 
 let max_weighted b ~wa ~wb = max_weighted_keyed ~key:(bound_key b) b ~wa ~wb
 
-let max_sum_rate b = max_weighted b ~wa:1. ~wb:1.
-
 (* A tiny secondary weight makes the corner lexicographic without
    perturbing the primary optimum at these problem scales. *)
 let lex_eps = 1e-7
+
+(* The sum-rate objective is parallel to the region's dominant face
+   (slope -1), so the pure (1, 1) optimum is a whole edge whenever
+   that face is active and the vertex a warm-started solve lands on
+   depends on basis history. The lexicographic tilt selects the unique
+   ra-most vertex of that face, making the reported maximizer
+   history-independent; the sum itself is unaffected. *)
+let max_sum_rate b = max_weighted b ~wa:(1. +. lex_eps) ~wb:1.
 
 let max_ra_keyed ~key b = max_weighted_keyed ~key b ~wa:1. ~wb:lex_eps
 let max_rb_keyed ~key b = max_weighted_keyed ~key b ~wa:lex_eps ~wb:1.

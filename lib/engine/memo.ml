@@ -74,6 +74,34 @@ let bump = function
   | Some c -> Telemetry.Metrics.incr c
   | None -> ()
 
+(* Split lookup/insert for callers that batch their misses (the serve
+   layer partitions a request batch into cache hits and a single pool
+   fan-out over the misses). Both respect the global switch so a
+   disabled cache stays fully cold. *)
+let find_opt t k =
+  if not (enabled ()) then None
+  else begin
+    Mutex.lock t.lock;
+    let r = Hashtbl.find_opt t.tbl k in
+    Mutex.unlock t.lock;
+    (match r with
+    | Some _ ->
+      Stats.record_hit ();
+      bump t.hits
+    | None ->
+      Stats.record_miss ();
+      bump t.misses);
+    r
+  end
+
+let put t k v =
+  if enabled () then begin
+    Mutex.lock t.lock;
+    (* first writer wins, matching [find_or_add]'s race policy *)
+    if not (Hashtbl.mem t.tbl k) then Hashtbl.add t.tbl k v;
+    Mutex.unlock t.lock
+  end
+
 let find_or_add t k compute =
   if not (enabled ()) then compute ()
   else begin

@@ -28,6 +28,17 @@ val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
     [compute ()], stores the result and returns it. Exceptions from
     [compute] propagate and nothing is stored. *)
 
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Lookup without computing, counted as a hit or miss. Always [None]
+    (and not counted) when the global switch is off. For callers that
+    batch their misses into one parallel computation before storing
+    the results with {!put}. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Store a computed value. First writer wins (matching
+    {!find_or_add}'s race policy); a no-op when the global switch is
+    off, so a disabled cache never retains results. *)
+
 val clear : ('k, 'v) t -> unit
 val length : ('k, 'v) t -> int
 

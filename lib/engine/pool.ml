@@ -175,30 +175,38 @@ let map_array ?domains f items =
     (* The caller runs its own chunk, then helps drain the queue rather
        than sleeping — so a map never waits on the scheduler when its
        chunks haven't been picked up yet (crucial on few-core hosts). *)
+    (* The flag must come back down even if the drain dies (a poisoned
+       mutex, an exception from a condition wait): leaving it set would
+       silently force every later map on this domain to run
+       sequentially. [run_chunk] itself never raises — user exceptions
+       are parked in [first_error] — so the protect only matters for
+       the drain's own synchronization failures. *)
     Domain.DLS.set in_worker true;
-    run_chunk 0;
-    let rec drain () =
-      if Atomic.get remaining > 0 then begin
-        Mutex.lock pool_lock;
-        let job =
-          if Queue.is_empty pending then None else Some (Queue.pop pending)
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set in_worker false)
+      (fun () ->
+        run_chunk 0;
+        let rec drain () =
+          if Atomic.get remaining > 0 then begin
+            Mutex.lock pool_lock;
+            let job =
+              if Queue.is_empty pending then None else Some (Queue.pop pending)
+            in
+            Mutex.unlock pool_lock;
+            match job with
+            | Some j ->
+              j ();
+              drain ()
+            | None ->
+              (* remaining chunks are in flight on workers *)
+              Mutex.lock done_lock;
+              while Atomic.get remaining > 0 do
+                Condition.wait done_cond done_lock
+              done;
+              Mutex.unlock done_lock
+          end
         in
-        Mutex.unlock pool_lock;
-        match job with
-        | Some j ->
-          j ();
-          drain ()
-        | None ->
-          (* remaining chunks are in flight on workers *)
-          Mutex.lock done_lock;
-          while Atomic.get remaining > 0 do
-            Condition.wait done_cond done_lock
-          done;
-          Mutex.unlock done_lock
-      end
-    in
-    drain ();
-    Domain.DLS.set in_worker false;
+        drain ());
     let wall = Unix.gettimeofday () -. t_fan in
     let busy = Array.fold_left ( +. ) 0. chunk_durs in
     let idle = Float.max 0. ((float_of_int d *. wall) -. busy) in

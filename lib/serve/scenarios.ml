@@ -1,0 +1,118 @@
+let ok = function Ok q -> q | Error e -> invalid_arg ("Serve.Scenarios: " ^ e)
+
+(* The grid: powers spanning the MABC-vs-TDBC crossover, the paper's
+   Fig. 4 gains plus two perturbations keeping g_ab <= g_ar <= g_br.
+   All triples are strictly asymmetric (g_ar < g_br): a symmetric
+   relay (g_ar = g_br) makes the sum-rate LP degenerate — the
+   ra/rb-swapped schedules tie exactly — and which optimal vertex a
+   warm solve lands on depends on basis history, which would break the
+   byte-stable response contract. *)
+let powers = [ -5.; 0.; 5.; 10.; 15.; 20. ]
+let gains = [ (0., 5., 7.); (0., 3., 5.); (2., 6., 9.) ]
+
+let sumrate_pool =
+  lazy
+    (List.concat_map
+       (fun power_db ->
+         List.concat_map
+           (fun gains_db ->
+             List.map
+               (fun (protocol, bound) ->
+                 ok
+                   (Query.make ~kind:Query.Sumrate ~power_db ~gains_db ~bound
+                      ?protocol ()))
+               [ (None, Bidir.Bound.Inner);
+                 (Some Bidir.Protocol.Mabc, Bidir.Bound.Inner);
+                 (Some Bidir.Protocol.Tdbc, Bidir.Bound.Inner);
+                 (Some Bidir.Protocol.Tdbc, Bidir.Bound.Outer);
+               ])
+           gains)
+       powers)
+
+let select_pool =
+  lazy
+    (List.concat_map
+       (fun power_db ->
+         List.map
+           (fun gains_db ->
+             ok
+               (Query.make ~kind:Query.Select ~power_db ~gains_db
+                  ~bound:Bidir.Bound.Inner ()))
+           gains)
+       powers)
+
+let region_pool =
+  lazy
+    (List.concat_map
+       (fun power_db ->
+         List.concat_map
+           (fun gains_db ->
+             List.map
+               (fun (protocol, bound) ->
+                 ok
+                   (Query.make ~kind:Query.Region ~power_db ~gains_db ~bound
+                      ~protocol ~weights:33 ()))
+               [ (Bidir.Protocol.Mabc, Bidir.Bound.Inner);
+                 (Bidir.Protocol.Tdbc, Bidir.Bound.Inner);
+               ])
+           [ (0., 5., 7.); (0., 3., 5.) ])
+       [ 0.; 10.; 20. ])
+
+let pool = function
+  | Query.Sumrate -> Lazy.force sumrate_pool
+  | Query.Select -> Lazy.force select_pool
+  | Query.Region -> Lazy.force region_pool
+
+let check_pool () =
+  List.concat_map
+    (fun power_db ->
+      [ ok (Query.make ~kind:Query.Sumrate ~power_db ());
+        ok
+          (Query.make ~kind:Query.Sumrate ~power_db
+             ~protocol:Bidir.Protocol.Tdbc ());
+        ok (Query.make ~kind:Query.Select ~power_db ());
+        ok
+          (Query.make ~kind:Query.Region ~power_db
+             ~protocol:Bidir.Protocol.Tdbc ~weights:17 ());
+      ])
+    [ 0.; 5.; 10.; 15. ]
+
+type mix = (Query.kind * int) list
+
+let default_mix = [ (Query.Sumrate, 3); (Query.Select, 2); (Query.Region, 1) ]
+
+let mix_to_string mix =
+  String.concat ","
+    (List.map (fun (k, w) -> Printf.sprintf "%s=%d" (Query.kind_name k) w) mix)
+
+let mix_of_string s =
+  let parts = String.split_on_char ',' (String.trim s) in
+  let rec go acc = function
+    | [] ->
+      let acc = List.rev acc in
+      if List.exists (fun (_, w) -> w > 0) acc then Ok acc
+      else Error "mix has no positive weight"
+    | part :: rest -> (
+      match String.index_opt part '=' with
+      | None -> Error (Printf.sprintf "bad mix component: %s" part)
+      | Some i -> (
+        let name = String.trim (String.sub part 0 i) in
+        let w = String.trim (String.sub part (i + 1) (String.length part - i - 1)) in
+        match (Query.kind_of_string name, int_of_string_opt w) with
+        | Some kind, Some w when w >= 0 -> go ((kind, w) :: acc) rest
+        | None, _ -> Error (Printf.sprintf "unknown query kind: %s" name)
+        | _, _ -> Error (Printf.sprintf "bad weight: %s" part)))
+  in
+  go [] parts
+
+let pick rng mix =
+  let total = List.fold_left (fun s (_, w) -> s + max 0 w) 0 mix in
+  if total <= 0 then invalid_arg "Serve.Scenarios.pick: empty mix";
+  let r = Prob.Rng.int rng total in
+  let rec choose r = function
+    | [] -> assert false
+    | (k, w) :: rest -> if r < max 0 w then k else choose (r - max 0 w) rest
+  in
+  let kind = choose r mix in
+  let p = pool kind in
+  List.nth p (Prob.Rng.int rng (List.length p))

@@ -36,7 +36,13 @@ type state = {
   mutable progress : progress option;
   counters : (string, int) Hashtbl.t;
   digests : (string, digest) Hashtbl.t;
-  mutable warnings : (float * string * string) list;  (* newest first *)
+  (* bounded ring of recent warn/error records: [warn_pos] is the next
+     slot to overwrite, [warn_count] the number of live entries. O(1)
+     per record, so a pathological file with thousands of warnings
+     folds in linear time. *)
+  warn_buf : (float * string * string) array;
+  mutable warn_pos : int;
+  mutable warn_count : int;
 }
 
 let max_warnings = 8
@@ -55,8 +61,15 @@ let create () =
     progress = None;
     counters = Hashtbl.create 32;
     digests = Hashtbl.create 16;
-    warnings = [];
+    warn_buf = Array.make max_warnings (0., "", "");
+    warn_pos = 0;
+    warn_count = 0;
   }
+
+let push_warning st w =
+  st.warn_buf.(st.warn_pos) <- w;
+  st.warn_pos <- (st.warn_pos + 1) mod max_warnings;
+  if st.warn_count < max_warnings then st.warn_count <- st.warn_count + 1
 
 (* ------------------------------------------------------------------ *)
 (* Folding                                                             *)
@@ -71,92 +84,118 @@ let integer = function Some (Json.Int i) -> Some i | _ -> None
 let str = function Some (Json.String s) -> Some s | _ -> None
 
 let fnum ?(default = 0.) j k = Option.value ~default (num (Json.member k j))
-let fint ?(default = 0) j k = Option.value ~default (integer (Json.member k j))
 
 let opt_num j k = num (Json.member k j)
 
+(* A record missing a required field (or carrying it with the wrong
+   type) is counted as a parse error and skipped whole — silently
+   defaulting e.g. a heartbeat's counter deltas to 0 would corrupt the
+   running totals a truncated writer leaves behind. Every required
+   field is read (and may raise) before the first state mutation of
+   its record, so an invalid record never applies partially. *)
+exception Invalid_record
+
+let rint j k =
+  match integer (Json.member k j) with
+  | Some i -> i
+  | None -> raise Invalid_record
+
+let rstr j k =
+  match str (Json.member k j) with
+  | Some s -> s
+  | None -> raise Invalid_record
+
 let digest_of_json j =
-  { di_count = fint j "count";
+  { di_count = rint j "count";
     di_sum = fnum j "sum";
     di_p50 = fnum j "p50";
     di_p90 = fnum j "p90";
     di_p99 = fnum j "p99";
   }
 
-let feed_record st j =
-  st.records <- st.records + 1;
-  (match opt_num j "t" with
-  | Some t -> st.last_t <- Float.max st.last_t t
-  | None -> ());
-  match str (Json.member "record" j) with
-  | Some "start" ->
-    st.schema <- str (Json.member "schema" j);
-    st.started_at <- opt_num j "t"
-  | Some "progress" ->
-    let p =
-      { pr_t = fnum j "t";
-        pr_name = Option.value ~default:"" (str (Json.member "name" j));
-        pr_completed = fint j "completed";
-        pr_total = fint j "total";
-        pr_rate = fnum j "rate";
-        pr_ci = opt_num j "ci";
-        pr_ci_target = opt_num j "ci_target";
-        pr_eta = opt_num j "eta";
-      }
-    in
-    (match st.progress with
-    | Some prev when prev.pr_name = p.pr_name && p.pr_completed < prev.pr_completed ->
-      st.monotone <- false
-    | _ -> ());
-    st.progress <- Some p
-  | Some "log" ->
-    let level = Option.value ~default:"info" (str (Json.member "level" j)) in
-    if level = "warn" || level = "error" then begin
-      let msg = Option.value ~default:"" (str (Json.member "msg" j)) in
-      st.warnings <-
-        (fnum j "t", level, msg)
-        :: (if List.length st.warnings >= max_warnings then
-              List.filteri (fun i _ -> i < max_warnings - 1) st.warnings
-            else st.warnings)
-    end
-  | Some "counter" -> (
-    match str (Json.member "name" j) with
-    | Some name ->
+let apply_record st j =
+  match Json.member "record" j with
+  | Some (Json.String kind) -> (
+    match kind with
+    | "start" ->
+      st.schema <- str (Json.member "schema" j);
+      st.started_at <- opt_num j "t"
+    | "progress" ->
+      let completed = rint j "completed" and total = rint j "total" in
+      let p =
+        { pr_t = fnum j "t";
+          pr_name = Option.value ~default:"" (str (Json.member "name" j));
+          pr_completed = completed;
+          pr_total = total;
+          pr_rate = fnum j "rate";
+          pr_ci = opt_num j "ci";
+          pr_ci_target = opt_num j "ci_target";
+          pr_eta = opt_num j "eta";
+        }
+      in
+      (match st.progress with
+      | Some prev
+        when prev.pr_name = p.pr_name && p.pr_completed < prev.pr_completed ->
+        st.monotone <- false
+      | _ -> ());
+      st.progress <- Some p
+    | "log" ->
+      let level = Option.value ~default:"info" (str (Json.member "level" j)) in
+      if level = "warn" || level = "error" then
+        let msg = Option.value ~default:"" (str (Json.member "msg" j)) in
+        push_warning st (fnum j "t", level, msg)
+    | "counter" ->
+      let name = rstr j "name" in
+      let delta = rint j "delta" in
       let prev = Option.value ~default:0 (Hashtbl.find_opt st.counters name) in
-      Hashtbl.replace st.counters name (prev + fint j "delta")
-    | None -> ())
-  | Some "digest" -> (
-    match str (Json.member "name" j) with
-    | Some name -> Hashtbl.replace st.digests name (digest_of_json j)
-    | None -> ())
-  | Some "heartbeat" ->
-    st.heartbeats <- st.heartbeats + 1;
-    let seq = fint j "seq" in
-    if seq <= st.last_seq then st.monotone <- false;
-    st.last_seq <- seq;
-    (match Json.member "counters" j with
-    | Some (Json.Obj fields) ->
+      Hashtbl.replace st.counters name (prev + delta)
+    | "digest" ->
+      let name = rstr j "name" in
+      let d = digest_of_json j in
+      Hashtbl.replace st.digests name d
+    | "heartbeat" ->
+      let seq = rint j "seq" in
+      (* validate the embedded digests before touching any state *)
+      let digest_updates =
+        match Json.member "histograms" j with
+        | Some (Json.Obj fields) ->
+          List.map (fun (name, v) -> (name, digest_of_json v)) fields
+        | _ -> []
+      in
+      st.heartbeats <- st.heartbeats + 1;
+      if seq <= st.last_seq then st.monotone <- false;
+      st.last_seq <- seq;
+      (match Json.member "counters" j with
+      | Some (Json.Obj fields) ->
+        List.iter
+          (fun (name, v) ->
+            match v with
+            | Json.Int d ->
+              let prev =
+                Option.value ~default:0 (Hashtbl.find_opt st.counters name)
+              in
+              Hashtbl.replace st.counters name (prev + d)
+            | _ -> ())
+          fields
+      | _ -> ());
       List.iter
-        (fun (name, v) ->
-          match v with
-          | Json.Int d ->
-            let prev =
-              Option.value ~default:0 (Hashtbl.find_opt st.counters name)
-            in
-            Hashtbl.replace st.counters name (prev + d)
-          | _ -> ())
-        fields
-    | _ -> ());
-    (match Json.member "histograms" j with
-    | Some (Json.Obj fields) ->
-      List.iter
-        (fun (name, v) -> Hashtbl.replace st.digests name (digest_of_json v))
-        fields
-    | _ -> ())
-  | Some "final" ->
-    st.finished <- true;
-    st.dropped <- fint j "dropped_events"
-  | _ -> () (* unknown record types: forward compatibility *)
+        (fun (name, d) -> Hashtbl.replace st.digests name d)
+        digest_updates
+    | "final" ->
+      let dropped = rint j "dropped_events" in
+      st.finished <- true;
+      st.dropped <- dropped
+    | _ -> () (* unknown record types: forward compatibility *))
+  | _ -> raise Invalid_record (* missing or non-string "record" field *)
+
+let feed_record st j =
+  match apply_record st j with
+  | () ->
+    st.records <- st.records + 1;
+    (match opt_num j "t" with
+    | Some t -> st.last_t <- Float.max st.last_t t
+    | None -> ())
+  | exception Invalid_record -> st.parse_errors <- st.parse_errors + 1
 
 let feed_line st line =
   let line = String.trim line in
@@ -194,7 +233,10 @@ let sorted tbl =
 
 let counters st = sorted st.counters
 let digests st = sorted st.digests
-let warnings st = st.warnings
+
+let warnings st =
+  List.init st.warn_count (fun i ->
+      st.warn_buf.((st.warn_pos - 1 - i + (2 * max_warnings)) mod max_warnings))
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

@@ -5,8 +5,11 @@
     deltas sum into running totals, histogram digests replace the
     previous cumulative digest, the latest progress record wins, and
     warn/error log records accumulate into a bounded recent-warnings
-    list. Unknown record types are skipped (forward compatibility);
-    unparseable lines are counted, not fatal.
+    ring (O(1) per record). Unknown record types are skipped (forward
+    compatibility); unparseable lines — and records missing a required
+    field, e.g. a truncated heartbeat without [seq] or a counter
+    without [delta] — are counted as parse errors and applied not at
+    all, never partially.
 
     {!render} and {!to_json} are pure functions of the state — all
     timing comes from the file's own timestamps, never the wall clock
@@ -57,9 +60,12 @@ val dropped : state -> int
 (** Dropped-event count from the [final] record (0 until then). *)
 
 val records : state -> int
-(** Lines parsed successfully. *)
+(** Records parsed and applied successfully. *)
 
 val parse_errors : state -> int
+(** Lines that failed to parse as JSON, plus records whose required
+    fields ([record], and per type e.g. [completed]/[total], [delta],
+    [count], [seq], [dropped_events]) were missing or ill-typed. *)
 
 val monotone : state -> bool
 (** No progress record ever went backwards and heartbeat sequence

@@ -59,6 +59,43 @@ let test_pool_rejects_bad_domains () =
     (Invalid_argument "Engine.Pool.map: domains < 1") (fun () ->
       ignore (Engine.Pool.map ~domains:0 succ [ 1 ]))
 
+let test_pool_concurrent_overlapping_maps () =
+  (* two caller domains issuing overlapping map_array calls against
+     the shared worker pool: results must be correct for both, and the
+     utilization accounting must stay sane (no negative queue-wait or
+     busy observations from racing clocks) *)
+  let n = 1_000 in
+  let input = Array.init n Fun.id in
+  let caller mult () =
+    Array.init 10 (fun _ ->
+        Engine.Pool.map_array ~domains:2 (fun x -> mult * x) input)
+  in
+  let d1 = Domain.spawn (caller 3) in
+  let d2 = Domain.spawn (caller 5) in
+  let check mult rounds =
+    Array.iter
+      (fun out ->
+        Alcotest.(check int) "length" n (Array.length out);
+        Array.iteri
+          (fun i y ->
+            if y <> mult * i then
+              Alcotest.failf "slot %d: expected %d, got %d" i (mult * i) y)
+          out)
+      rounds
+  in
+  check 3 (Domain.join d1);
+  check 5 (Domain.join d2);
+  List.iter
+    (fun name ->
+      match List.assoc_opt name (Telemetry.Metrics.histograms ()) with
+      | None -> ()
+      | Some h ->
+        if Telemetry.Histogram.count h > 0 then
+          Alcotest.(check bool) (name ^ " observations non-negative") true
+            (Telemetry.Histogram.min_value h >= 0.))
+    [ "engine.pool.queue_wait_seconds"; "engine.pool.busy_seconds";
+      "engine.pool.idle_seconds"; "engine.pool.chunk_seconds" ]
+
 (* ------------------------------------------------------------------ *)
 (* Memo                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -176,6 +213,8 @@ let suites =
         Alcotest.test_case "exception propagation" `Quick test_pool_propagates_exception;
         Alcotest.test_case "nested map" `Quick test_pool_nested_map;
         Alcotest.test_case "rejects domains < 1" `Quick test_pool_rejects_bad_domains;
+        Alcotest.test_case "concurrent overlapping maps" `Quick
+          test_pool_concurrent_overlapping_maps;
       ] );
     ( "engine.memo",
       [ Alcotest.test_case "computes once" `Quick test_memo_computes_once;

@@ -900,6 +900,96 @@ let test_live_monotone_violation () =
   Alcotest.(check (list (pair string int))) "later lines still folded"
     [ ("c", 2) ] (L.counters st3)
 
+let test_live_strict_required_fields () =
+  (* a record missing a required field (or carrying it ill-typed) is a
+     parse error and is skipped whole — no field silently defaults,
+     no partial state mutation *)
+  let cases =
+    [ "{\"record\":\"progress\",\"t\":2.0,\"name\":\"x\",\"total\":9,\"rate\":1.0}";
+      "{\"record\":\"progress\",\"t\":2.0,\"name\":\"x\",\"completed\":5,\"rate\":1.0}";
+      "{\"record\":\"progress\",\"t\":2.0,\"name\":\"x\",\"completed\":\"5\",\"total\":9}";
+      "{\"record\":\"counter\",\"t\":2.0,\"name\":\"c\"}";
+      "{\"record\":\"counter\",\"t\":2.0,\"delta\":3}";
+      "{\"record\":\"digest\",\"t\":2.0,\"name\":\"d\",\"sum\":1.0}";
+      "{\"record\":\"heartbeat\",\"t\":2.0,\"counters\":{\"c\":7},\"histograms\":{}}";
+      "{\"record\":\"final\",\"t\":2.0}";
+      "{\"t\":2.0,\"seq\":3}";
+      "{\"record\":7,\"t\":2.0}";
+    ]
+  in
+  let st = L.create () in
+  List.iter (L.feed_line st) cases;
+  Alcotest.(check int) "every malformed record counted"
+    (List.length cases) (L.parse_errors st);
+  Alcotest.(check int) "none folded" 0 (L.records st);
+  Alcotest.(check (list (pair string int))) "no counter leaked" []
+    (L.counters st);
+  Alcotest.(check bool) "no progress leaked" true (L.progress st = None);
+  Alcotest.(check bool) "not finished" false (L.finished st);
+  Alcotest.(check int) "no heartbeat" 0 (L.heartbeats st);
+  Alcotest.(check (float 0.)) "last_t untouched by skipped records" 0.
+    (L.last_t st);
+  (* a heartbeat with one malformed embedded digest must not
+     half-apply: neither its seq, nor its counters, nor the valid
+     digests next to the bad one *)
+  let st2 = L.create () in
+  L.feed_line st2
+    "{\"record\":\"heartbeat\",\"t\":1.0,\"seq\":1,\"counters\":{\"c\":7},\"histograms\":{\"good\":{\"count\":2,\"sum\":1.0},\"bad\":{\"sum\":1.0}}}";
+  Alcotest.(check int) "bad embedded digest is one parse error" 1
+    (L.parse_errors st2);
+  Alcotest.(check int) "heartbeat not half-applied" 0 (L.heartbeats st2);
+  Alcotest.(check (list (pair string int))) "counters not half-applied" []
+    (L.counters st2);
+  Alcotest.(check int) "digests not half-applied" 0
+    (List.length (L.digests st2));
+  (* valid records around the bad ones still fold *)
+  let st3 = L.create () in
+  L.feed_string st3
+    "{\"record\":\"counter\",\"t\":1.0,\"name\":\"c\",\"delta\":2}\n\
+     {\"record\":\"counter\",\"t\":2.0,\"name\":\"c\"}\n\
+     {\"record\":\"counter\",\"t\":3.0,\"name\":\"c\",\"delta\":3}\n";
+  Alcotest.(check int) "one parse error" 1 (L.parse_errors st3);
+  Alcotest.(check (list (pair string int))) "valid deltas accumulated"
+    [ ("c", 5) ] (L.counters st3);
+  (* unknown record kinds remain forward-compatible no-ops *)
+  let st4 = L.create () in
+  L.feed_line st4 "{\"record\":\"hologram\",\"t\":1.0}";
+  Alcotest.(check int) "unknown kind is not an error" 0 (L.parse_errors st4);
+  Alcotest.(check int) "unknown kind still counts as a record" 1
+    (L.records st4)
+
+let test_live_warning_ring_bounded () =
+  (* 10k warn records fold in linear time into the bounded ring; the
+     reader sees the newest 8, newest first *)
+  let n = 10_000 in
+  let st = L.create () in
+  for i = 1 to n do
+    L.feed_line st
+      (Printf.sprintf
+         "{\"record\":\"log\",\"t\":%d.0,\"level\":\"warn\",\"msg\":\"w%d\"}" i
+         i)
+  done;
+  Alcotest.(check int) "all records folded" n (L.records st);
+  Alcotest.(check int) "no parse errors" 0 (L.parse_errors st);
+  let ws = L.warnings st in
+  Alcotest.(check int) "ring keeps 8" 8 (List.length ws);
+  List.iteri
+    (fun i (t, level, msg) ->
+      Alcotest.(check string) "newest first" (Printf.sprintf "w%d" (n - i)) msg;
+      Alcotest.(check (float 0.)) "timestamp kept" (float_of_int (n - i)) t;
+      Alcotest.(check string) "level kept" "warn" level)
+    ws;
+  (* info-level logs never enter the ring *)
+  L.feed_line st "{\"record\":\"log\",\"t\":99999.0,\"level\":\"info\",\"msg\":\"quiet\"}";
+  (match L.warnings st with
+  | (_, _, msg) :: _ ->
+    Alcotest.(check string) "info log not ringed" (Printf.sprintf "w%d" n) msg
+  | [] -> Alcotest.fail "ring unexpectedly empty");
+  (* a part-filled ring reports only what it holds *)
+  let st2 = L.create () in
+  L.feed_line st2 "{\"record\":\"log\",\"t\":1.0,\"level\":\"error\",\"msg\":\"only\"}";
+  Alcotest.(check int) "single warning" 1 (List.length (L.warnings st2))
+
 (* ------------------------------------------------------------------ *)
 (* Log: levels, rate limiting, span path, SLO watchdog                  *)
 (* ------------------------------------------------------------------ *)
@@ -1148,6 +1238,10 @@ let suites =
           `Quick test_live_file_roundtrip;
         Alcotest.test_case "monotonicity violations and garbage flagged"
           `Quick test_live_monotone_violation;
+        Alcotest.test_case "missing required fields are parse errors"
+          `Quick test_live_strict_required_fields;
+        Alcotest.test_case "warning ring bounded at 10k warnings" `Quick
+          test_live_warning_ring_bounded;
       ] );
     ( "telemetry.log",
       [ Alcotest.test_case "levels and span path" `Quick
